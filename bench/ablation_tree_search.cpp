@@ -1,0 +1,63 @@
+// Ablations for the design choices DESIGN.md calls out (Sec. VII-A
+// countermeasures + Alg. 3 reward assignment):
+//   1. backward reward averaging vs leaf-only rewards,
+//   2. fair-chance exploration vs vanilla sampling,
+//   3. optimal-branch boosting vs cold start.
+// Each ablation reruns the tree search on two representative contexts with
+// one switch flipped and reports the final tree reward.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+using namespace cadmc;
+using namespace cadmc::bench;
+
+namespace {
+double run_variant(const ContextArtifacts& art, bool backward_avg,
+                   bool fair_chance, bool boosting, std::uint64_t seed) {
+  tree::TreeSearchConfig config;
+  config.episodes = 120;
+  config.seed = seed;
+  config.backward_averaging = backward_avg;
+  config.fair_chance = fair_chance;
+  config.boost_with_branches = boosting;
+  config.branch_config.episodes = 150;
+  tree::TreeSearch search(*art.evaluator, art.boundaries, art.fork_bandwidths,
+                          config);
+  return search.run().tree_reward;
+}
+}  // namespace
+
+int main() {
+  std::printf("=== Ablations: tree-search design choices ===\n\n");
+  BenchConfig config;
+  const net::EvalContext picks[] = {
+      {"VGG11", "phone", net::scene_by_name("4G outdoor quick")},
+      {"AlexNet", "phone", net::scene_by_name("WiFi (weak) indoor")},
+  };
+
+  util::AsciiTable table({"Context", "Full", "No backward avg",
+                          "No fair-chance", "No boosting"});
+  for (const auto& pick : picks) {
+    const ContextArtifacts art = train_context(pick, config);
+    // Average over 2 seeds to damp search variance.
+    double full = 0, no_avg = 0, no_fair = 0, no_boost = 0;
+    for (std::uint64_t seed : {11u, 22u}) {
+      full += run_variant(art, true, true, true, seed);
+      no_avg += run_variant(art, false, true, true, seed);
+      no_fair += run_variant(art, true, false, true, seed);
+      no_boost += run_variant(art, true, true, false, seed);
+    }
+    table.add_row({pick.model + "/" + pick.scene.name, fmt(full / 2),
+                   fmt(no_avg / 2), fmt(no_fair / 2), fmt(no_boost / 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: removing backward averaging collapses the reward\n"
+      "signal for internal nodes (largest drop); removing boosting loses the\n"
+      "Alg. 1 incumbent guarantee. Fair-chance exploration exists to prevent\n"
+      "first-block local optima (Sec. VII-A); on scenes without that\n"
+      "pathology its effect is within search variance.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared harness for the paper-reproduction benches: builds the
+// (model, device, scene) contexts of Tables III-V, trains the three
+// policies — Dynamic DNN Surgery, Optimal Branch (Alg. 1) and the
+// Context-Aware Model Tree (Alg. 3) — and exposes the offline/emulation/
+// field measurements each bench formats.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/branch_search.h"
+#include "nn/factory.h"
+#include "partition/surgery.h"
+#include "runtime/emulator.h"
+#include "tree/tree_search.h"
+
+namespace cadmc::bench {
+
+struct ContextArtifacts {
+  std::string model_name;   // "VGG11" / "AlexNet"
+  std::string device_name;  // "Phone" / "TX2"
+  std::string scene_name;
+
+  // Heap-held so its address is stable across moves of this struct (the
+  // evaluator and the model tree keep pointers to it).
+  std::shared_ptr<nn::Model> base;
+  std::vector<std::size_t> boundaries;
+  net::BandwidthTrace trace;
+  std::vector<double> fork_bandwidths;  // K = 2 quartile representatives
+  std::unique_ptr<engine::StrategyEvaluator> evaluator;
+
+  // Offline artifacts. Offline rewards are all reported on the same
+  // metric: the average reward across the K fork bandwidths (the tree
+  // adapts per fork; surgery/branch execute their fixed plan).
+  std::size_t surgery_cut = 0;          // min-cut at the median bandwidth
+  double surgery_offline_reward = 0.0;  // fork-averaged
+  double branch_offline_reward = 0.0;   // fork-averaged
+  engine::BranchSearchResult branch;    // Alg. 1 at the median bandwidth
+  tree::TreeSearchResult tree;          // Alg. 3 (tree_reward is fork-avg)
+
+  engine::Strategy surgery_strategy() const;
+};
+
+struct BenchConfig {
+  int branch_episodes = 150;
+  int tree_episodes = 150;
+  double trace_duration_ms = 60'000.0;
+  std::uint64_t seed = 0xBE7C;
+};
+
+/// Builds and trains one (model, device, scene) context.
+ContextArtifacts train_context(const net::EvalContext& context,
+                               const BenchConfig& config);
+
+/// All 14 paper contexts (Tables III-V rows), trained.
+std::vector<ContextArtifacts> train_all_contexts(const BenchConfig& config);
+
+/// Emulation / field sweeps over one trained context.
+struct PolicyStats {
+  runtime::RunStats surgery;
+  runtime::RunStats branch;
+  runtime::RunStats tree;
+};
+PolicyStats run_policies(const ContextArtifacts& art, runtime::TimingMode mode,
+                         int inferences, std::uint64_t seed);
+
+/// Base accuracy the paper reports for each model.
+double paper_base_accuracy(const std::string& model_name);
+
+std::string fmt(double v, int decimals = 2);
+
+}  // namespace cadmc::bench

@@ -1,0 +1,62 @@
+// Fig. 1 — "Real-world network context": bandwidth over time for the two
+// sample scenes (4G while moving quickly outdoor; weak WiFi indoor), showing
+// drastic variation within a 1-second window, against Table I-scale
+// inference times. Also dumps the traces as CSV next to the binary.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "latency/transfer_model.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace cadmc;
+
+namespace {
+void show_trace(const net::Scene& scene, std::uint64_t seed) {
+  const net::BandwidthTrace trace =
+      net::generate_trace(scene.trace, 60'000.0, seed);
+  std::vector<double> mbps;
+  for (double s : trace.samples())
+    mbps.push_back(latency::bytes_per_ms_to_mbps(s));
+
+  std::printf("\n%s (60 s, %.0f ms sampling)\n", scene.name.c_str(),
+              trace.dt_ms());
+  std::printf("%s\n", util::ascii_chart(mbps, 10, 100).c_str());
+  std::printf("  mean %.2f Mbps  p25 %.2f  p50 %.2f  p75 %.2f  min %.2f  max %.2f\n",
+              util::mean(mbps), util::quantile(mbps, 0.25),
+              util::quantile(mbps, 0.5), util::quantile(mbps, 0.75),
+              util::min_of(mbps), util::max_of(mbps));
+
+  // The paper's observation: the bandwidth changes drastically within a
+  // window like 1 s — smaller than one model inference.
+  double worst_1s_swing = 0.0;
+  const int per_second = static_cast<int>(1000.0 / trace.dt_ms());
+  for (std::size_t i = 0; i + per_second < mbps.size(); ++i) {
+    double lo = mbps[i], hi = mbps[i];
+    for (int j = 0; j <= per_second; ++j) {
+      lo = std::min(lo, mbps[i + j]);
+      hi = std::max(hi, mbps[i + j]);
+    }
+    worst_1s_swing = std::max(worst_1s_swing, hi - lo);
+  }
+  std::printf("  worst bandwidth swing within any 1 s window: %.2f Mbps (%.0f%% of mean)\n",
+              worst_1s_swing, 100.0 * worst_1s_swing / util::mean(mbps));
+
+  std::string path = "fig1_";
+  for (char c : scene.name)
+    path += (std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  path += ".csv";
+  if (trace.save_csv(path)) std::printf("  trace saved to %s\n", path.c_str());
+}
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 1: real-world network context (synthetic traces; see DESIGN.md) ===\n");
+  show_trace(net::scene_by_name("4G outdoor quick"), 0xF161);
+  show_trace(net::scene_by_name("WiFi (weak) indoor"), 0xF162);
+  std::printf(
+      "\nBoth traces vary drastically inside a 1 s window, while Table I puts\n"
+      "full on-device inference of classical models at 1.1-5.7 s — the\n"
+      "constant-network assumption cannot hold across one inference.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fig. 7 — comparison of search methods on the model-tree objective:
+// RL-based tree search vs random search vs epsilon-greedy search, VGG11 on
+// the phone under "4G indoor static". The paper reports maxima of 367.70
+// (RL) > 358.90 (eps-greedy) > 358.77 (random); we reproduce the ordering
+// on our calibrated substrate and print the best-so-far curves.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace cadmc;
+using namespace cadmc::bench;
+
+namespace {
+/// Random/eps-greedy explore the same joint space as the RL engine: a
+/// genome = (cut, technique per layer) evaluated as a tree-less strategy at
+/// the median bandwidth plus fork-averaged trajectory (to keep all methods
+/// on the model-tree objective we score the expected reward across forks of
+/// the strategy grafted on every fork).
+double tree_objective(const ContextArtifacts& art,
+                      const engine::Strategy& strategy) {
+  double total = 0.0;
+  for (double bw : art.fork_bandwidths)
+    total += art.evaluator->evaluate(strategy, bw).reward;
+  return total / static_cast<double>(art.fork_bandwidths.size());
+}
+
+void print_curve(const char* name, const std::vector<double>& best_curve) {
+  std::printf("%-12s", name);
+  for (std::size_t i = 0; i < best_curve.size(); i += best_curve.size() / 10)
+    std::printf(" %7.2f", best_curve[i]);
+  std::printf(" | final %.2f\n", best_curve.back());
+}
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 7: RL vs random vs epsilon-greedy search ===\n");
+  std::printf("Context: VGG11, phone, '4G indoor static'\n\n");
+
+  BenchConfig config;
+  config.branch_episodes = 200;
+  config.tree_episodes = 300;
+  net::EvalContext context{"VGG11", "phone",
+                           net::scene_by_name("4G indoor static")};
+  const ContextArtifacts art = train_context(context, config);
+
+  // Baselines on the same episode budget as the tree search.
+  const int episodes = config.tree_episodes;
+  const auto space = engine::make_strategy_space(*art.evaluator);
+  const auto objective = [&](const std::vector<int>& genome) {
+    return tree_objective(art,
+                          engine::genome_to_strategy(*art.evaluator, genome));
+  };
+  const auto random = rl::random_search(space, objective, episodes, 0x71);
+  const auto greedy =
+      rl::epsilon_greedy_search(space, objective, episodes, 0.8, 0.05, 0x72);
+
+  std::printf("Best-so-far reward every %d episodes:\n", episodes / 10);
+  print_curve("RL (tree)", art.tree.log.best_so_far());
+  print_curve("eps-greedy", greedy.log.best_so_far());
+  print_curve("random", random.log.best_so_far());
+
+  util::AsciiTable table({"Method", "Max reward", "Paper max"});
+  table.add_row({"RL-based tree search", fmt(art.tree.tree_reward), "367.70"});
+  table.add_row({"Epsilon-greedy search", fmt(greedy.best_reward), "358.90"});
+  table.add_row({"Random search", fmt(random.best_reward), "358.77"});
+  std::printf("\n%s\n", table.to_string().c_str());
+
+  util::CsvWriter csv({"episode", "rl_best", "greedy_best", "random_best"});
+  const auto rl_curve = art.tree.log.best_so_far();
+  const auto greedy_curve = greedy.log.best_so_far();
+  const auto random_curve = random.log.best_so_far();
+  for (std::size_t e = 0; e < rl_curve.size(); ++e)
+    csv.add_row(std::vector<double>{
+        static_cast<double>(e), rl_curve[e],
+        e < greedy_curve.size() ? greedy_curve[e] : greedy_curve.back(),
+        e < random_curve.size() ? random_curve[e] : random_curve.back()});
+  if (csv.save("fig7_search_curves.csv"))
+    std::printf("curves saved to fig7_search_curves.csv\n");
+
+  const bool ordering = art.tree.tree_reward >= greedy.best_reward - 1.0 &&
+                        art.tree.tree_reward >= random.best_reward - 1.0;
+  std::printf("\nShape check (RL >= eps-greedy, random): %s\n",
+              ordering ? "HOLDS" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Google-benchmark micro benchmarks of the computational substrate: conv2d,
+// matmul, LSTM step, SVD, trace generation and strategy evaluation — the
+// hot paths behind the offline search (0.5-2 h on one GPU in the paper;
+// seconds per context on this substrate).
+#include <benchmark/benchmark.h>
+
+#include "controller/lstm.h"
+#include "engine/strategy.h"
+#include "latency/device_profile.h"
+#include "net/generator.h"
+#include "nn/conv.h"
+#include "nn/factory.h"
+#include "tensor/ops.h"
+#include "tensor/svd.h"
+
+using namespace cadmc;
+
+namespace {
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  nn::Conv2d conv(c, c, 3, 1, 1, rng);
+  const tensor::Tensor x = tensor::Tensor::randn({1, c, 16, 16}, rng, 0.3f);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x, false));
+  state.SetItemsProcessed(state.iterations() * conv.macc({c, 16, 16}));
+}
+BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(64);
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  const tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  const tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(tensor::matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(256);
+
+void BM_BiLstmEpisode(benchmark::State& state) {
+  util::Rng rng(3);
+  controller::BiLstm lstm(17, 24, rng);
+  const tensor::Tensor xs = tensor::Tensor::randn({29, 17}, rng);
+  for (auto _ : state) {
+    const tensor::Tensor hs = lstm.forward(xs);
+    tensor::Tensor grad = hs;
+    benchmark::DoNotOptimize(lstm.backward(grad));
+  }
+}
+BENCHMARK(BM_BiLstmEpisode);
+
+void BM_RandomizedSvd(benchmark::State& state) {
+  util::Rng rng(4);
+  const tensor::Tensor a = tensor::Tensor::randn({512, 512}, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(tensor::randomized_low_rank(a, 64));
+}
+BENCHMARK(BM_RandomizedSvd);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  net::TraceGeneratorParams params;
+  std::uint64_t seed = 5;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net::generate_trace(params, 60'000.0, seed++));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_StrategyEvaluation(benchmark::State& state) {
+  static const nn::Model base = nn::make_vgg11();
+  latency::TransferModel transfer;
+  partition::PartitionEvaluator pe(
+      latency::ComputeLatencyModel(latency::phone_profile()),
+      latency::ComputeLatencyModel(latency::cloud_profile()), transfer);
+  engine::StrategyEvaluator evaluator(
+      base, std::move(pe), engine::AccuracyModel(0.92, base.size(), 6),
+      engine::RewardConfig{});
+  engine::Strategy s;
+  s.cut = base.size();
+  s.plan.assign(base.size(), compress::TechniqueId::kNone);
+  s.plan[4] = compress::TechniqueId::kC1MobileNet;
+  double bw = 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.evaluate(s, bw));
+    bw += 1.0;  // defeat the memo so the full path is measured
+  }
+}
+BENCHMARK(BM_StrategyEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Table III — offline training reward across every paper context:
+// Dynamic DNN Surgery vs Optimal Branch (Alg. 1) vs Model Tree (Alg. 3).
+// The metric is each method's own offline objective (see EXPERIMENTS.md):
+// surgery/branch at the context's median bandwidth, the tree's
+// fork-averaged root reward. Expected shape: Surgery <= Branch <= Tree.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+using namespace cadmc;
+using namespace cadmc::bench;
+
+int main() {
+  std::printf("=== Table III: offline training reward (Surgery / Branch / Tree) ===\n\n");
+  BenchConfig config;
+  const auto contexts = train_all_contexts(config);
+
+  util::AsciiTable table(
+      {"Model", "Device", "Environment", "Surgery", "Branch", "Tree"});
+  double sums[2][3] = {};  // [vgg/alex][method]
+  int counts[2] = {};
+  int ordering_ok = 0, rows = 0;
+  for (const auto& art : contexts) {
+    const double surgery = art.surgery_offline_reward;
+    const double branch = art.branch_offline_reward;
+    const double tree = art.tree.tree_reward;
+    table.add_row({art.model_name, art.device_name, art.scene_name,
+                   fmt(surgery), fmt(branch), fmt(tree)});
+    const int m = art.model_name == "VGG11" ? 0 : 1;
+    sums[m][0] += surgery;
+    sums[m][1] += branch;
+    sums[m][2] += tree;
+    ++counts[m];
+    ++rows;
+    ordering_ok += (branch >= surgery - 0.5) && (tree >= branch - 2.0);
+  }
+  for (int m = 0; m < 2; ++m) {
+    table.add_row({m == 0 ? "VGG11" : "AlexNet", "-", "Average",
+                   fmt(sums[m][0] / counts[m]), fmt(sums[m][1] / counts[m]),
+                   fmt(sums[m][2] / counts[m])});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Paper averages: VGG11 352.14 / 355.92 / 359.57, "
+              "AlexNet 347.05 / 357.64 / 359.56\n");
+  std::printf("Ordering Surgery <= Branch <= Tree holds on %d/%d contexts.\n",
+              ordering_ok, rows);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Scenario: continuous mobile vision (the paper's motivating workload — a
+// DNN that "continuously receives and processes inputs"). A phone classifies
+// a stream of frames while walking outdoors on 4G: the bandwidth swings
+// through fades, and the engine recomposes the DNN from the model tree
+// before every block (Alg. 2), switching between compressed-edge execution
+// and cloud offloading mid-stream.
+//
+//   ./examples/adaptive_video_stream
+#include <cstdio>
+#include <map>
+
+#include "nn/factory.h"
+#include "runtime/decision_engine.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace cadmc;
+
+int main() {
+  runtime::EngineConfig config;
+  config.edge_device = "phone";
+  config.scene = net::scene_by_name("WiFi outdoor slow");
+  config.base_accuracy = 0.9201;
+  config.trace_duration_ms = 90'000.0;
+  config.tree_config.episodes = 80;
+  config.tree_config.branch_config.episodes = 120;
+  runtime::DecisionEngine engine(nn::make_vgg11(), std::move(config));
+
+  std::printf("Training the decision engine offline for 'WiFi outdoor slow'...\n");
+  engine.train_offline();
+  std::printf("Model tree ready (reward %.2f).\n\n",
+              engine.search_result().tree_reward);
+
+  // Stream 30 frames over 75 s of walking; one frame every 2.5 s.
+  data::SynthCifar camera(32, 10, 0x57E4);
+  util::Accumulator latency_acc;
+  std::map<std::string, int> mode_histogram;
+  std::printf("%5s %9s %7s %20s %8s\n", "frame", "t (s)", "Mbps", "mode (fork path)",
+              "est ms");
+  for (int frame = 0; frame < 30; ++frame) {
+    const double t_ms = 5'000.0 + frame * 2'500.0;
+    const auto batch = camera.make_batch(frame, 1);
+    const auto outcome = engine.infer(batch.images, t_ms);
+    latency_acc.add(outcome.latency_ms);
+    std::string mode;
+    if (outcome.strategy.cut == 0) {
+      mode = "offload-all";
+    } else if (outcome.strategy.cut >= engine.base().size()) {
+      int compressed = 0;
+      for (auto id : outcome.strategy.plan)
+        compressed += id != compress::TechniqueId::kNone;
+      mode = compressed ? "edge-compressed" : "edge-full";
+    } else {
+      mode = "split@" + std::to_string(outcome.strategy.cut);
+    }
+    mode += "[";
+    for (int f : outcome.forks) mode += std::to_string(f);
+    mode += "]";
+    ++mode_histogram[mode];
+    if (frame % 3 == 0)
+      std::printf("%5d %9.1f %7.2f %20s %8.1f\n", frame, t_ms / 1000.0,
+                  latency::bytes_per_ms_to_mbps(engine.trace().at(t_ms)),
+                  mode.c_str(), outcome.latency_ms);
+  }
+
+  std::printf("\nStream summary over %zu frames:\n", latency_acc.count());
+  std::printf("  mean latency %.1f ms (min %.1f, max %.1f)\n",
+              latency_acc.mean(), latency_acc.min(), latency_acc.max());
+  std::printf("  execution modes used:\n");
+  for (const auto& [mode, count] : mode_histogram)
+    std::printf("    %-16s x%d\n", mode.c_str(), count);
+  std::printf(
+      "\nThe engine switched modes with the link state instead of committing\n"
+      "to one placement for the whole stream — the paper's core claim.\n");
+  return 0;
+}

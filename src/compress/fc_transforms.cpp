@@ -1,0 +1,136 @@
+// F1 (SVD), F2 (KSVD) and F3 (Global Average Pooling) — the FC-layer
+// compressions of Table II.
+#include <algorithm>
+#include <cmath>
+
+#include "compress/transform.h"
+#include "nn/activation.h"
+#include "nn/composite.h"
+#include "nn/conv.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+#include "tensor/svd.h"
+
+namespace cadmc::compress {
+
+namespace {
+const nn::Linear* as_linear(const nn::Model& model, std::size_t idx) {
+  if (idx >= model.size()) return nullptr;
+  return dynamic_cast<const nn::Linear*>(&model.layer(idx));
+}
+
+/// Builds the two-factor replacement block for a low-rank FC factorization.
+/// y = W x with W [out,in] becomes y = L (R x): first Linear holds R [k,in]
+/// (no bias), second holds L [out,k] plus the original bias. When
+/// `faithful` is false the factors keep their random initialization
+/// (structure-only realization for the search engine).
+std::unique_ptr<nn::Layer> make_low_rank_block(const nn::Linear& fc, int rank,
+                                               double keep_fraction,
+                                               const char* block_name,
+                                               util::Rng& rng, bool faithful) {
+  auto first = std::make_unique<nn::Linear>(fc.in_features(), rank, rng,
+                                            /*bias=*/false);
+  auto second = std::make_unique<nn::Linear>(rank, fc.out_features(), rng);
+  if (faithful) {
+    const tensor::LowRankFactors factors =
+        tensor::low_rank_factors(fc.weight(), rank);
+    first->weight() = factors.right;  // [k, in]
+    second->weight() = factors.left;  // [out, k]
+  }
+  if (!fc.bias().empty()) second->bias() = fc.bias();
+  if (keep_fraction < 1.0) {
+    tensor::sparsify_in_place(first->weight(), keep_fraction);
+    tensor::sparsify_in_place(second->weight(), keep_fraction);
+  }
+  std::vector<std::unique_ptr<nn::Layer>> layers;
+  layers.push_back(std::move(first));
+  layers.push_back(std::move(second));
+  nn::LayerSpec spec{block_name, 0, 0, 0, fc.out_features()};
+  return std::make_unique<nn::SequentialBlock>(block_name, std::move(layers),
+                                               spec);
+}
+
+int rank_for(const nn::Linear& fc, double fraction) {
+  const int full = std::min(fc.in_features(), fc.out_features());
+  return std::max(1, static_cast<int>(std::floor(full * fraction)));
+}
+}  // namespace
+
+bool SvdTransform::applicable(const nn::Model& model,
+                              std::size_t layer_idx) const {
+  const nn::Linear* fc = as_linear(model, layer_idx);
+  // Rank-1 factorization of a tiny layer saves nothing.
+  return fc != nullptr && std::min(fc->in_features(), fc->out_features()) >= 8;
+}
+
+bool SvdTransform::apply(nn::Model& model, std::size_t layer_idx,
+                         util::Rng& rng) const {
+  if (!applicable(model, layer_idx)) return false;
+  const nn::Linear* fc = as_linear(model, layer_idx);
+  std::vector<std::unique_ptr<nn::Layer>> repl;
+  repl.push_back(make_low_rank_block(*fc, rank_for(*fc, rank_fraction_), 1.0,
+                                     "fc_svd", rng, faithful_));
+  model.replace_layer(layer_idx, std::move(repl));
+  return true;
+}
+
+bool KsvdTransform::applicable(const nn::Model& model,
+                               std::size_t layer_idx) const {
+  const nn::Linear* fc = as_linear(model, layer_idx);
+  return fc != nullptr && std::min(fc->in_features(), fc->out_features()) >= 8;
+}
+
+bool KsvdTransform::apply(nn::Model& model, std::size_t layer_idx,
+                          util::Rng& rng) const {
+  if (!applicable(model, layer_idx)) return false;
+  const nn::Linear* fc = as_linear(model, layer_idx);
+  std::vector<std::unique_ptr<nn::Layer>> repl;
+  repl.push_back(make_low_rank_block(*fc, rank_for(*fc, rank_fraction_),
+                                     keep_fraction_, "fc_ksvd", rng, faithful_));
+  model.replace_layer(layer_idx, std::move(repl));
+  return true;
+}
+
+bool GapTransform::applicable(const nn::Model& model,
+                              std::size_t layer_idx) const {
+  // Applies at the first FC layer: the entire classifier tail (from the
+  // preceding Flatten onward) is replaced, so that layer must be preceded by
+  // a Flatten over a spatial feature map, and every later parametric layer
+  // must be an FC layer.
+  const nn::Linear* fc = as_linear(model, layer_idx);
+  if (fc == nullptr || layer_idx == 0) return false;
+  if (dynamic_cast<const nn::Flatten*>(&model.layer(layer_idx - 1)) == nullptr)
+    return false;
+  const nn::Shape pre = layer_idx >= 2 ? model.shape_after(layer_idx - 2)
+                                       : model.input_shape();
+  if (pre.size() != 3) return false;
+  for (std::size_t i = layer_idx + 1; i < model.size(); ++i) {
+    const nn::Layer& l = model.layer(i);
+    if (const_cast<nn::Layer&>(l).param_count() > 0 &&
+        dynamic_cast<const nn::Linear*>(&l) == nullptr)
+      return false;
+  }
+  return true;
+}
+
+bool GapTransform::apply(nn::Model& model, std::size_t layer_idx,
+                         util::Rng& rng) const {
+  if (!applicable(model, layer_idx)) return false;
+  const nn::Shape pre = layer_idx >= 2 ? model.shape_after(layer_idx - 2)
+                                       : model.input_shape();
+  // The head must still produce the original class count.
+  int num_classes = 0;
+  for (std::size_t i = model.size(); i-- > 0;) {
+    if (const nn::Linear* fc = as_linear(model, i)) {
+      num_classes = fc->out_features();
+      break;
+    }
+  }
+  const std::size_t tail_begin = layer_idx - 1;  // the Flatten
+  while (model.size() > tail_begin) model.remove_layer(model.size() - 1);
+  model.add(std::make_unique<nn::Conv2d>(pre[0], num_classes, 1, 1, 0, rng));
+  model.add(std::make_unique<nn::GlobalAvgPool>());
+  return true;
+}
+
+}  // namespace cadmc::compress

@@ -1,0 +1,52 @@
+#include "compress/registry.h"
+
+#include <stdexcept>
+
+namespace cadmc::compress {
+
+TechniqueRegistry::TechniqueRegistry(bool faithful_weights,
+                                     bool include_extensions) {
+  techniques_.push_back(std::make_unique<SvdTransform>(0.25, faithful_weights));
+  techniques_.push_back(std::make_unique<KsvdTransform>(0.25, 0.4, faithful_weights));
+  techniques_.push_back(std::make_unique<GapTransform>());
+  techniques_.push_back(std::make_unique<MobileNetTransform>());
+  techniques_.push_back(std::make_unique<MobileNetV2Transform>());
+  techniques_.push_back(std::make_unique<SqueezeNetTransform>());
+  techniques_.push_back(std::make_unique<FilterPruneTransform>());
+  if (include_extensions)
+    techniques_.push_back(std::make_unique<QuantizeTransform>());
+}
+
+const ModelTransform& TechniqueRegistry::technique(TechniqueId id) const {
+  for (const auto& t : techniques_)
+    if (t->id() == id) return *t;
+  throw std::invalid_argument("TechniqueRegistry: no such technique");
+}
+
+std::vector<TechniqueId> TechniqueRegistry::applicable(
+    const nn::Model& model, std::size_t layer_idx) const {
+  std::vector<TechniqueId> out{TechniqueId::kNone};
+  for (const auto& t : techniques_)
+    if (t->applicable(model, layer_idx)) out.push_back(t->id());
+  return out;
+}
+
+bool TechniqueRegistry::apply(TechniqueId id, nn::Model& model,
+                              std::size_t layer_idx, util::Rng& rng) const {
+  if (id == TechniqueId::kNone) return true;
+  return technique(id).apply(model, layer_idx, rng);
+}
+
+int TechniqueRegistry::apply_plan(const std::vector<TechniqueId>& actions,
+                                  nn::Model& model, util::Rng& rng) const {
+  if (actions.size() != model.size())
+    throw std::invalid_argument("apply_plan: one action per layer required");
+  int applied = 0;
+  for (std::size_t i = actions.size(); i-- > 0;) {
+    if (actions[i] == TechniqueId::kNone) continue;
+    if (apply(actions[i], model, i, rng)) ++applied;
+  }
+  return applied;
+}
+
+}  // namespace cadmc::compress

@@ -1,0 +1,48 @@
+// Technique registry: owns one instance of every Table II transform and
+// answers per-layer applicability queries — the masked action space of the
+// compression controller.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "compress/transform.h"
+
+namespace cadmc::compress {
+
+class TechniqueRegistry {
+ public:
+  /// Constructs the full Table II catalog with default hyper-parameters.
+  /// `faithful_weights = false` builds structure-exact but weight-random
+  /// replacements (no SVD cost) — what the search engine uses; runtime
+  /// realization uses the default faithful catalog.
+  /// `include_extensions = true` adds the non-Table-II techniques
+  /// (Q1 quantization); the default catalog reproduces the paper exactly.
+  explicit TechniqueRegistry(bool faithful_weights = true,
+                             bool include_extensions = false);
+
+  const ModelTransform& technique(TechniqueId id) const;
+  const std::vector<std::unique_ptr<ModelTransform>>& all() const {
+    return techniques_;
+  }
+
+  /// Technique ids applicable to layer `layer_idx` of `model`; always
+  /// includes kNone as the first entry.
+  std::vector<TechniqueId> applicable(const nn::Model& model,
+                                      std::size_t layer_idx) const;
+
+  /// Applies `id` to the layer; kNone is a successful no-op.
+  bool apply(TechniqueId id, nn::Model& model, std::size_t layer_idx,
+             util::Rng& rng) const;
+
+  /// Applies one action per layer of `model` (actions.size() == model.size(),
+  /// entries may be kNone). Applications run back-to-front so indices stay
+  /// valid as layers get replaced. Returns the number applied.
+  int apply_plan(const std::vector<TechniqueId>& actions, nn::Model& model,
+                 util::Rng& rng) const;
+
+ private:
+  std::vector<std::unique_ptr<ModelTransform>> techniques_;
+};
+
+}  // namespace cadmc::compress

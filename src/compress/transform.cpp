@@ -1,0 +1,37 @@
+#include "compress/transform.h"
+
+#include <stdexcept>
+
+namespace cadmc::compress {
+
+std::string technique_name(TechniqueId id) {
+  switch (id) {
+    case TechniqueId::kNone: return "None";
+    case TechniqueId::kF1Svd: return "F1 (SVD)";
+    case TechniqueId::kF2Ksvd: return "F2 (KSVD)";
+    case TechniqueId::kF3Gap: return "F3 (Global Average Pooling)";
+    case TechniqueId::kC1MobileNet: return "C1 (MobileNet)";
+    case TechniqueId::kC2MobileNetV2: return "C2 (MobileNetV2)";
+    case TechniqueId::kC3SqueezeNet: return "C3 (SqueezeNet)";
+    case TechniqueId::kW1FilterPrune: return "W1 (Filter Pruning)";
+    case TechniqueId::kQ1Quantize: return "Q1 (8-bit Quantization)";
+  }
+  throw std::invalid_argument("technique_name: bad id");
+}
+
+std::string technique_short_name(TechniqueId id) {
+  switch (id) {
+    case TechniqueId::kNone: return "-";
+    case TechniqueId::kF1Svd: return "F1";
+    case TechniqueId::kF2Ksvd: return "F2";
+    case TechniqueId::kF3Gap: return "F3";
+    case TechniqueId::kC1MobileNet: return "C1";
+    case TechniqueId::kC2MobileNetV2: return "C2";
+    case TechniqueId::kC3SqueezeNet: return "C3";
+    case TechniqueId::kW1FilterPrune: return "W1";
+    case TechniqueId::kQ1Quantize: return "Q1";
+  }
+  throw std::invalid_argument("technique_short_name: bad id");
+}
+
+}  // namespace cadmc::compress

@@ -1,0 +1,165 @@
+// Compression techniques of Table II as structural model transforms. Each
+// transform rewrites real layers with real weights in place:
+//
+//   F1 (SVD)         m x n FC weight -> rank-k factors (k << min(m,n))
+//   F2 (KSVD)        same, with sparsified factor matrices
+//   F3 (GAP)         the FC classifier head -> 1x1 conv + global avg pool
+//   C1 (MobileNet)   3x3 conv -> depthwise 3x3 + pointwise 1x1
+//   C2 (MobileNetV2) 3x3 conv -> inverted residual with linear bottleneck
+//   C3 (SqueezeNet)  3x3 conv -> Fire module
+//   W1 (FilterPrune) remove the least-salient output filters of a conv
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace cadmc::compress {
+
+enum class TechniqueId : int {
+  kNone = 0,
+  kF1Svd = 1,
+  kF2Ksvd = 2,
+  kF3Gap = 3,
+  kC1MobileNet = 4,
+  kC2MobileNetV2 = 5,
+  kC3SqueezeNet = 6,
+  kW1FilterPrune = 7,
+  // Extension beyond Table II (gated behind TechniqueRegistry's
+  // include_extensions flag): 8-bit post-training weight quantization, per
+  // the Deep Compression work the paper cites as [16].
+  kQ1Quantize = 8,
+};
+
+/// Number of distinct action ids (including kNone) — the size of the
+/// compression controller's per-layer softmax.
+constexpr int kTechniqueCount = 9;
+
+std::string technique_name(TechniqueId id);        // "F1 (SVD)" etc.
+std::string technique_short_name(TechniqueId id);  // "F1" etc.
+
+class ModelTransform {
+ public:
+  virtual ~ModelTransform() = default;
+
+  virtual TechniqueId id() const = 0;
+  std::string name() const { return technique_name(id()); }
+
+  /// True if the transform can rewrite layer `layer_idx` of `model`.
+  virtual bool applicable(const nn::Model& model, std::size_t layer_idx) const = 0;
+
+  /// Rewrites the model in place. Returns false (leaving the model
+  /// unchanged) when not applicable. May replace the target layer with
+  /// several layers or rewrite the model tail (F3).
+  virtual bool apply(nn::Model& model, std::size_t layer_idx,
+                     util::Rng& rng) const = 0;
+};
+
+// --- FC-layer transforms (fc_transforms.cpp) ---
+
+class SvdTransform : public ModelTransform {
+ public:
+  /// rank = max(1, min(in,out) * rank_fraction). When `faithful` is false the
+  /// factor weights are randomly initialized instead of computed by SVD —
+  /// structure (shapes, MACCs) is exact but weights are placeholders; used by
+  /// the search engine, which only prices structure and retrains weights.
+  explicit SvdTransform(double rank_fraction = 0.25, bool faithful = true)
+      : rank_fraction_(rank_fraction), faithful_(faithful) {}
+  TechniqueId id() const override { return TechniqueId::kF1Svd; }
+  bool applicable(const nn::Model& model, std::size_t layer_idx) const override;
+  bool apply(nn::Model& model, std::size_t layer_idx,
+             util::Rng& rng) const override;
+
+ private:
+  double rank_fraction_;
+  bool faithful_;
+};
+
+class KsvdTransform : public ModelTransform {
+ public:
+  KsvdTransform(double rank_fraction = 0.25, double keep_fraction = 0.4,
+                bool faithful = true)
+      : rank_fraction_(rank_fraction),
+        keep_fraction_(keep_fraction),
+        faithful_(faithful) {}
+  TechniqueId id() const override { return TechniqueId::kF2Ksvd; }
+  bool applicable(const nn::Model& model, std::size_t layer_idx) const override;
+  bool apply(nn::Model& model, std::size_t layer_idx,
+             util::Rng& rng) const override;
+
+ private:
+  double rank_fraction_, keep_fraction_;
+  bool faithful_;
+};
+
+class GapTransform : public ModelTransform {
+ public:
+  TechniqueId id() const override { return TechniqueId::kF3Gap; }
+  bool applicable(const nn::Model& model, std::size_t layer_idx) const override;
+  bool apply(nn::Model& model, std::size_t layer_idx,
+             util::Rng& rng) const override;
+};
+
+// --- Conv-layer transforms (conv_transforms.cpp) ---
+
+class MobileNetTransform : public ModelTransform {
+ public:
+  TechniqueId id() const override { return TechniqueId::kC1MobileNet; }
+  bool applicable(const nn::Model& model, std::size_t layer_idx) const override;
+  bool apply(nn::Model& model, std::size_t layer_idx,
+             util::Rng& rng) const override;
+};
+
+class MobileNetV2Transform : public ModelTransform {
+ public:
+  explicit MobileNetV2Transform(int expansion = 2) : expansion_(expansion) {}
+  TechniqueId id() const override { return TechniqueId::kC2MobileNetV2; }
+  bool applicable(const nn::Model& model, std::size_t layer_idx) const override;
+  bool apply(nn::Model& model, std::size_t layer_idx,
+             util::Rng& rng) const override;
+
+ private:
+  int expansion_;
+};
+
+class SqueezeNetTransform : public ModelTransform {
+ public:
+  TechniqueId id() const override { return TechniqueId::kC3SqueezeNet; }
+  bool applicable(const nn::Model& model, std::size_t layer_idx) const override;
+  bool apply(nn::Model& model, std::size_t layer_idx,
+             util::Rng& rng) const override;
+};
+
+/// Extension: 8-bit weight quantization of a conv or FC layer. The layer's
+/// structure is unchanged; the spec type gains a _q8 suffix so the latency
+/// model can price integer kernels.
+class QuantizeTransform : public ModelTransform {
+ public:
+  explicit QuantizeTransform(int bits = 8) : bits_(bits) {}
+  TechniqueId id() const override { return TechniqueId::kQ1Quantize; }
+  bool applicable(const nn::Model& model, std::size_t layer_idx) const override;
+  bool apply(nn::Model& model, std::size_t layer_idx,
+             util::Rng& rng) const override;
+
+ private:
+  int bits_;
+};
+
+class FilterPruneTransform : public ModelTransform {
+ public:
+  /// Removes `prune_fraction` of the output filters (least mean-|w| first).
+  explicit FilterPruneTransform(double prune_fraction = 0.3)
+      : prune_fraction_(prune_fraction) {}
+  TechniqueId id() const override { return TechniqueId::kW1FilterPrune; }
+  bool applicable(const nn::Model& model, std::size_t layer_idx) const override;
+  bool apply(nn::Model& model, std::size_t layer_idx,
+             util::Rng& rng) const override;
+
+ private:
+  double prune_fraction_;
+};
+
+}  // namespace cadmc::compress

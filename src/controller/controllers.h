@@ -1,0 +1,108 @@
+// The partition and compression search controllers of Fig. 6. Both embed the
+// DNN's layer hyper-parameter strings (Eqn. 1) plus the bandwidth context,
+// run a bidirectional LSTM, and emit softmax policies:
+//  * the partition controller emits ONE action for the whole block: a score
+//    per cut position 0..L-1 (from H_i) plus a "no partition" score (from
+//    the sequence-final hidden state) — an (L+1)-way softmax,
+//  * the compression controller emits one action PER LAYER: an 8-way softmax
+//    over Table II techniques (incl. None), masked by per-layer
+//    applicability.
+// Training is Monte-Carlo policy gradient with baseline (Eqns. 8-10): call
+// sample_* during rollout, then accumulate_grad with the episode advantage,
+// then step().
+#pragma once
+
+#include <optional>
+
+#include "controller/lstm.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace cadmc::controller {
+
+/// Embeds layer specs (+ bandwidth) into the controller input features.
+class LayerEmbedder {
+ public:
+  static constexpr int kTypeBuckets = 12;
+  static constexpr int kDim = kTypeBuckets + 5;  // one-hot + k,s,p,log n,log bw
+
+  /// features: [model.size(), kDim].
+  static Tensor embed(const nn::Model& model, double bandwidth_mbps);
+  /// Embeds layers [begin, end) without copying the model.
+  static Tensor embed_range(const nn::Model& model, std::size_t begin,
+                            std::size_t end, double bandwidth_mbps);
+  static int type_bucket(const std::string& type);
+};
+
+struct PolicySample {
+  int action = 0;
+  std::vector<double> probs;  // full distribution the action was drawn from
+};
+
+class PartitionController {
+ public:
+  PartitionController(int hidden_dim, std::uint64_t seed);
+
+  /// Returns the policy over actions 0..L where L = features.dim(0):
+  /// action c < L cuts before layer c (layers [0,c) on edge); action L means
+  /// no partition in this block.
+  std::vector<double> policy(const Tensor& features);
+  PolicySample sample(const Tensor& features, util::Rng& rng);
+
+  /// REINFORCE gradient accumulation for one decision:
+  /// grad += advantage * d(-log pi(action)) / d theta.
+  void accumulate_grad(const Tensor& features, int action, double advantage);
+
+  void step();
+  void zero_grad();
+  std::vector<Tensor*> params();
+
+ private:
+  PartitionController(int hidden_dim, util::Rng rng);
+  std::vector<double> logits(const Tensor& hs) const;
+
+  BiLstm lstm_;
+  Tensor v_pos_, v_nop_;    // [2H] scoring vectors
+  Tensor b_pos_, b_nop_;    // scalar biases (as 1-element tensors)
+  Tensor gv_pos_, gv_nop_, gb_pos_, gb_nop_;
+  nn::Adam optimizer_;
+};
+
+class CompressionController {
+ public:
+  /// `action_count` = kTechniqueCount (8).
+  CompressionController(int hidden_dim, int action_count, std::uint64_t seed);
+
+  /// Per-layer policies; `masks[t]` lists the allowed action ids for layer t
+  /// (empty mask = only action 0 allowed).
+  std::vector<std::vector<double>> policies(
+      const Tensor& features, const std::vector<std::vector<int>>& masks);
+  std::vector<PolicySample> sample(const Tensor& features,
+                                   const std::vector<std::vector<int>>& masks,
+                                   util::Rng& rng);
+
+  void accumulate_grad(const Tensor& features,
+                       const std::vector<std::vector<int>>& masks,
+                       const std::vector<int>& actions, double advantage);
+
+  void step();
+  void zero_grad();
+  std::vector<Tensor*> params();
+
+ private:
+  CompressionController(int hidden_dim, int action_count, util::Rng rng);
+  std::vector<std::vector<double>> masked_probs(
+      const Tensor& hs, const std::vector<std::vector<int>>& masks) const;
+
+  int action_count_;
+  BiLstm lstm_;
+  Tensor w_head_;  // [action_count, 2H]
+  Tensor b_head_;  // [action_count]
+  Tensor gw_head_, gb_head_;
+  nn::Adam optimizer_;
+};
+
+/// Samples an index from a discrete distribution.
+int sample_index(const std::vector<double>& probs, util::Rng& rng);
+
+}  // namespace cadmc::controller

@@ -1,0 +1,200 @@
+#include "controller/lstm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cadmc::controller {
+
+namespace {
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+}  // namespace
+
+Lstm::Lstm(int input_dim, int hidden_dim, util::Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  if (input_dim <= 0 || hidden_dim <= 0)
+    throw std::invalid_argument("Lstm: invalid dimensions");
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hidden_dim));
+  w_ih_ = Tensor::rand_uniform({4 * hidden_dim, input_dim}, rng, -scale, scale);
+  w_hh_ = Tensor::rand_uniform({4 * hidden_dim, hidden_dim}, rng, -scale, scale);
+  b_ = Tensor({4 * hidden_dim});
+  // Positive forget-gate bias: standard trick to keep memory early in training.
+  for (int j = 0; j < hidden_dim; ++j) b_(hidden_dim + j) = 1.0f;
+  gw_ih_ = Tensor(w_ih_.shape());
+  gw_hh_ = Tensor(w_hh_.shape());
+  gb_ = Tensor(b_.shape());
+}
+
+Tensor Lstm::forward(const Tensor& xs) {
+  if (xs.rank() != 2 || xs.dim(1) != input_dim_)
+    throw std::invalid_argument("Lstm::forward: expected [T, input_dim]");
+  const int t_len = xs.dim(0);
+  const int h = hidden_dim_;
+  cache_.clear();
+  cache_.resize(static_cast<std::size_t>(t_len));
+  Tensor hs({t_len, h});
+  std::vector<float> h_prev(static_cast<std::size_t>(h), 0.0f);
+  std::vector<float> c_prev(static_cast<std::size_t>(h), 0.0f);
+  for (int t = 0; t < t_len; ++t) {
+    StepCache& sc = cache_[static_cast<std::size_t>(t)];
+    sc.x.resize(static_cast<std::size_t>(input_dim_));
+    for (int k = 0; k < input_dim_; ++k) sc.x[static_cast<std::size_t>(k)] = xs(t, k);
+    sc.h_prev = h_prev;
+    sc.c_prev = c_prev;
+    sc.i.resize(static_cast<std::size_t>(h));
+    sc.f.resize(static_cast<std::size_t>(h));
+    sc.g.resize(static_cast<std::size_t>(h));
+    sc.o.resize(static_cast<std::size_t>(h));
+    sc.c.resize(static_cast<std::size_t>(h));
+    sc.tanh_c.resize(static_cast<std::size_t>(h));
+    for (int j = 0; j < h; ++j) {
+      float z[4];
+      for (int gate = 0; gate < 4; ++gate) {
+        const int row = gate * h + j;
+        double acc = b_(row);
+        for (int k = 0; k < input_dim_; ++k)
+          acc += w_ih_(row, k) * sc.x[static_cast<std::size_t>(k)];
+        for (int k = 0; k < h; ++k)
+          acc += w_hh_(row, k) * h_prev[static_cast<std::size_t>(k)];
+        z[gate] = static_cast<float>(acc);
+      }
+      const float gi = sigmoid(z[0]);
+      const float gf = sigmoid(z[1]);
+      const float gg = std::tanh(z[2]);
+      const float go = sigmoid(z[3]);
+      const float c = gf * c_prev[static_cast<std::size_t>(j)] + gi * gg;
+      const float tc = std::tanh(c);
+      sc.i[static_cast<std::size_t>(j)] = gi;
+      sc.f[static_cast<std::size_t>(j)] = gf;
+      sc.g[static_cast<std::size_t>(j)] = gg;
+      sc.o[static_cast<std::size_t>(j)] = go;
+      sc.c[static_cast<std::size_t>(j)] = c;
+      sc.tanh_c[static_cast<std::size_t>(j)] = tc;
+      hs(t, j) = go * tc;
+    }
+    for (int j = 0; j < h; ++j) {
+      h_prev[static_cast<std::size_t>(j)] = hs(t, j);
+      c_prev[static_cast<std::size_t>(j)] = sc.c[static_cast<std::size_t>(j)];
+    }
+  }
+  return hs;
+}
+
+Tensor Lstm::backward(const Tensor& grad_hs) {
+  const int t_len = static_cast<int>(cache_.size());
+  if (grad_hs.rank() != 2 || grad_hs.dim(0) != t_len ||
+      grad_hs.dim(1) != hidden_dim_)
+    throw std::invalid_argument("Lstm::backward: gradient shape mismatch");
+  const int h = hidden_dim_;
+  Tensor grad_xs({t_len, input_dim_});
+  std::vector<float> dh_next(static_cast<std::size_t>(h), 0.0f);
+  std::vector<float> dc_next(static_cast<std::size_t>(h), 0.0f);
+  std::vector<float> dz(static_cast<std::size_t>(4 * h));
+  for (int t = t_len - 1; t >= 0; --t) {
+    const StepCache& sc = cache_[static_cast<std::size_t>(t)];
+    for (int j = 0; j < h; ++j) {
+      const float dh = grad_hs(t, j) + dh_next[static_cast<std::size_t>(j)];
+      const float tc = sc.tanh_c[static_cast<std::size_t>(j)];
+      const float go = sc.o[static_cast<std::size_t>(j)];
+      float dc = dh * go * (1.0f - tc * tc) + dc_next[static_cast<std::size_t>(j)];
+      const float d_o = dh * tc;
+      const float d_i = dc * sc.g[static_cast<std::size_t>(j)];
+      const float d_g = dc * sc.i[static_cast<std::size_t>(j)];
+      const float d_f = dc * sc.c_prev[static_cast<std::size_t>(j)];
+      dc_next[static_cast<std::size_t>(j)] = dc * sc.f[static_cast<std::size_t>(j)];
+      const float gi = sc.i[static_cast<std::size_t>(j)];
+      const float gf = sc.f[static_cast<std::size_t>(j)];
+      const float gg = sc.g[static_cast<std::size_t>(j)];
+      dz[static_cast<std::size_t>(0 * h + j)] = d_i * gi * (1.0f - gi);
+      dz[static_cast<std::size_t>(1 * h + j)] = d_f * gf * (1.0f - gf);
+      dz[static_cast<std::size_t>(2 * h + j)] = d_g * (1.0f - gg * gg);
+      dz[static_cast<std::size_t>(3 * h + j)] = d_o * go * (1.0f - go);
+    }
+    std::fill(dh_next.begin(), dh_next.end(), 0.0f);
+    for (int row = 0; row < 4 * h; ++row) {
+      const float dzr = dz[static_cast<std::size_t>(row)];
+      if (dzr == 0.0f) continue;
+      gb_(row) += dzr;
+      for (int k = 0; k < input_dim_; ++k) {
+        gw_ih_(row, k) += dzr * sc.x[static_cast<std::size_t>(k)];
+        grad_xs(t, k) += dzr * w_ih_(row, k);
+      }
+      for (int k = 0; k < h; ++k) {
+        gw_hh_(row, k) += dzr * sc.h_prev[static_cast<std::size_t>(k)];
+        dh_next[static_cast<std::size_t>(k)] += dzr * w_hh_(row, k);
+      }
+    }
+  }
+  return grad_xs;
+}
+
+void Lstm::zero_grad() {
+  gw_ih_.fill(0.0f);
+  gw_hh_.fill(0.0f);
+  gb_.fill(0.0f);
+}
+
+BiLstm::BiLstm(int input_dim, int hidden_dim, util::Rng& rng)
+    : hidden_(hidden_dim),
+      fwd_(input_dim, hidden_dim, rng),
+      bwd_(input_dim, hidden_dim, rng) {}
+
+namespace {
+Tensor reverse_rows(const Tensor& xs) {
+  const int t_len = xs.dim(0), d = xs.dim(1);
+  Tensor out({t_len, d});
+  for (int t = 0; t < t_len; ++t)
+    for (int k = 0; k < d; ++k) out(t, k) = xs(t_len - 1 - t, k);
+  return out;
+}
+}  // namespace
+
+Tensor BiLstm::forward(const Tensor& xs) {
+  const Tensor hf = fwd_.forward(xs);
+  const Tensor hb_rev = bwd_.forward(reverse_rows(xs));
+  const int t_len = xs.dim(0);
+  Tensor out({t_len, 2 * hidden_});
+  for (int t = 0; t < t_len; ++t) {
+    for (int j = 0; j < hidden_; ++j) {
+      out(t, j) = hf(t, j);
+      out(t, hidden_ + j) = hb_rev(t_len - 1 - t, j);
+    }
+  }
+  return out;
+}
+
+Tensor BiLstm::backward(const Tensor& grad) {
+  const int t_len = grad.dim(0);
+  Tensor gf({t_len, hidden_});
+  Tensor gb({t_len, hidden_});
+  for (int t = 0; t < t_len; ++t)
+    for (int j = 0; j < hidden_; ++j) {
+      gf(t, j) = grad(t, j);
+      gb(t_len - 1 - t, j) = grad(t, hidden_ + j);
+    }
+  const Tensor gx_f = fwd_.backward(gf);
+  const Tensor gx_b_rev = bwd_.backward(gb);
+  Tensor gx = gx_f;
+  const int d = gx.dim(1);
+  for (int t = 0; t < t_len; ++t)
+    for (int k = 0; k < d; ++k) gx(t, k) += gx_b_rev(t_len - 1 - t, k);
+  return gx;
+}
+
+std::vector<Tensor*> BiLstm::params() {
+  auto p = fwd_.params();
+  for (Tensor* t : bwd_.params()) p.push_back(t);
+  return p;
+}
+
+std::vector<Tensor*> BiLstm::grads() {
+  auto g = fwd_.grads();
+  for (Tensor* t : bwd_.grads()) g.push_back(t);
+  return g;
+}
+
+void BiLstm::zero_grad() {
+  fwd_.zero_grad();
+  bwd_.zero_grad();
+}
+
+}  // namespace cadmc::controller

@@ -1,0 +1,73 @@
+// LSTM and bidirectional LSTM with full backpropagation-through-time.
+// These are the policy networks of the partition and compression controllers
+// (Fig. 6): a DNN layer's hyper-parameter string x_i is embedded and fed to a
+// forward and a backward LSTM whose concatenated hidden states H_i drive the
+// per-position softmax heads. Sequences are unbatched ([T, dim] tensors) —
+// policy-gradient training runs one episode at a time.
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cadmc::controller {
+
+using tensor::Tensor;
+
+class Lstm {
+ public:
+  Lstm(int input_dim, int hidden_dim, util::Rng& rng);
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+  /// xs: [T, input_dim] -> hidden states [T, hidden_dim]. Caches the episode
+  /// for backward().
+  Tensor forward(const Tensor& xs);
+
+  /// grad_hs: [T, hidden_dim] -> grad_xs: [T, input_dim]. Accumulates weight
+  /// gradients; must follow a forward() on the same sequence.
+  Tensor backward(const Tensor& grad_hs);
+
+  std::vector<Tensor*> params() { return {&w_ih_, &w_hh_, &b_}; }
+  std::vector<Tensor*> grads() { return {&gw_ih_, &gw_hh_, &gb_}; }
+  void zero_grad();
+
+ private:
+  int input_dim_, hidden_dim_;
+  // Gate order within the stacked dimension: input, forget, cell, output.
+  Tensor w_ih_;  // [4H, I]
+  Tensor w_hh_;  // [4H, H]
+  Tensor b_;     // [4H]
+  Tensor gw_ih_, gw_hh_, gb_;
+
+  // Per-step caches from the last forward pass.
+  struct StepCache {
+    std::vector<float> x, h_prev, c_prev;
+    std::vector<float> i, f, g, o;  // post-activation gates
+    std::vector<float> c, tanh_c;
+  };
+  std::vector<StepCache> cache_;
+};
+
+/// Forward + reverse LSTM; hidden states are concatenated per position.
+class BiLstm {
+ public:
+  BiLstm(int input_dim, int hidden_dim, util::Rng& rng);
+
+  int output_dim() const { return 2 * hidden_; }
+
+  /// xs: [T, input_dim] -> [T, 2*hidden_dim].
+  Tensor forward(const Tensor& xs);
+  /// grad: [T, 2*hidden_dim] -> [T, input_dim].
+  Tensor backward(const Tensor& grad);
+
+  std::vector<Tensor*> params();
+  std::vector<Tensor*> grads();
+  void zero_grad();
+
+ private:
+  int hidden_;
+  Lstm fwd_, bwd_;
+};
+
+}  // namespace cadmc::controller

@@ -1,0 +1,26 @@
+#include "data/dataloader.h"
+
+#include <stdexcept>
+
+namespace cadmc::data {
+
+DataLoader::DataLoader(const SynthCifar& source, std::int64_t begin,
+                       std::int64_t end, int batch_size)
+    : source_(source), begin_(begin), end_(end), batch_size_(batch_size) {
+  if (begin < 0 || end <= begin || batch_size <= 0 ||
+      end - begin < batch_size)
+    throw std::invalid_argument("DataLoader: invalid range/batch size");
+}
+
+int DataLoader::batches_per_epoch() const {
+  return static_cast<int>((end_ - begin_) / batch_size_);
+}
+
+SynthCifar::Batch DataLoader::batch(int i) const {
+  const int per_epoch = batches_per_epoch();
+  const int wrapped = ((i % per_epoch) + per_epoch) % per_epoch;
+  return source_.make_batch(begin_ + static_cast<std::int64_t>(wrapped) * batch_size_,
+                            batch_size_);
+}
+
+}  // namespace cadmc::data

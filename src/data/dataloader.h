@@ -1,0 +1,29 @@
+// Train/eval iteration over SynthCIFAR with disjoint index ranges.
+#pragma once
+
+#include "data/synth_cifar.h"
+
+namespace cadmc::data {
+
+class DataLoader {
+ public:
+  /// Serves batches from the half-open example-index range [begin, end).
+  DataLoader(const SynthCifar& source, std::int64_t begin, std::int64_t end,
+             int batch_size);
+
+  /// Number of full batches per epoch.
+  int batches_per_epoch() const;
+
+  /// The i-th batch (wraps modulo batches_per_epoch).
+  SynthCifar::Batch batch(int i) const;
+
+  int batch_size() const { return batch_size_; }
+  std::int64_t example_count() const { return end_ - begin_; }
+
+ private:
+  const SynthCifar& source_;
+  std::int64_t begin_, end_;
+  int batch_size_;
+};
+
+}  // namespace cadmc::data

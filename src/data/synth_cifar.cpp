@@ -1,0 +1,76 @@
+#include "data/synth_cifar.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace cadmc::data {
+
+using tensor::Tensor;
+
+SynthCifar::SynthCifar(int image_size, int num_classes, std::uint64_t seed,
+                       double noise)
+    : image_size_(image_size),
+      num_classes_(num_classes),
+      seed_(seed),
+      noise_(noise) {
+  if (image_size <= 0 || num_classes <= 0)
+    throw std::invalid_argument("SynthCifar: invalid parameters");
+}
+
+Example SynthCifar::make_example(std::int64_t index) const {
+  // Every example is a pure function of (seed, index) — regenerating the
+  // stream in any order gives identical data.
+  util::Rng rng(seed_ ^ (0x9E3779B97f4A7C15ULL * static_cast<std::uint64_t>(index + 1)));
+  const int label = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(num_classes_)));
+
+  // Class-conditional texture parameters (deterministic functions of label).
+  const double angle = 3.14159265358979 * label / num_classes_;
+  const double freq = 2.0 + 0.7 * (label % 5);
+  const double color[3] = {0.3 + 0.6 * ((label * 37 % 10) / 9.0),
+                           0.3 + 0.6 * ((label * 53 % 10) / 9.0),
+                           0.3 + 0.6 * ((label * 71 % 10) / 9.0)};
+  // Per-example nuisance parameters.
+  const double phase = rng.uniform(0.0, 6.2831853);
+  const double cx = rng.uniform(0.25, 0.75), cy = rng.uniform(0.25, 0.75);
+  const double blob_r = 0.12 + 0.08 * ((label * 29 % 7) / 6.0);
+
+  Example ex;
+  ex.label = label;
+  ex.image = Tensor({3, image_size_, image_size_});
+  const double ca = std::cos(angle), sa = std::sin(angle);
+  for (int y = 0; y < image_size_; ++y) {
+    for (int x = 0; x < image_size_; ++x) {
+      const double u = static_cast<double>(x) / image_size_;
+      const double v = static_cast<double>(y) / image_size_;
+      const double proj = ca * u + sa * v;
+      const double stripe = 0.5 + 0.5 * std::sin(6.2831853 * freq * proj + phase);
+      const double dx = u - cx, dy = v - cy;
+      const double blob = std::exp(-(dx * dx + dy * dy) / (blob_r * blob_r));
+      for (int c = 0; c < 3; ++c) {
+        const double value = color[c] * stripe + (1.0 - color[c]) * blob;
+        ex.image(c, y, x) = static_cast<float>(value + rng.normal(0.0, noise_));
+      }
+    }
+  }
+  return ex;
+}
+
+SynthCifar::Batch SynthCifar::make_batch(std::int64_t start_index, int n) const {
+  if (n <= 0) throw std::invalid_argument("make_batch: n <= 0");
+  Batch batch;
+  batch.images = Tensor({n, 3, image_size_, image_size_});
+  batch.labels.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Example ex = make_example(start_index + i);
+    batch.labels[static_cast<std::size_t>(i)] = ex.label;
+    for (int c = 0; c < 3; ++c)
+      for (int y = 0; y < image_size_; ++y)
+        for (int x = 0; x < image_size_; ++x)
+          batch.images(i, c, y, x) = ex.image(c, y, x);
+  }
+  return batch;
+}
+
+}  // namespace cadmc::data

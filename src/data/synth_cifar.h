@@ -1,0 +1,46 @@
+// SynthCIFAR: a deterministic synthetic stand-in for CIFAR10 (see DESIGN.md,
+// substitutions). Ten classes of 3-channel images; each class is a distinct
+// parametric texture (oriented sinusoid + color bias + blob) corrupted with
+// noise, so that classifiers of different capacities reach measurably
+// different accuracies — which is what the accuracy/latency trade-off needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cadmc::data {
+
+struct Example {
+  tensor::Tensor image;  // {3, s, s}
+  int label = 0;
+};
+
+class SynthCifar {
+ public:
+  /// `noise` is the pixel-noise stddev; higher noise makes the task harder.
+  SynthCifar(int image_size, int num_classes, std::uint64_t seed,
+             double noise = 0.25);
+
+  int image_size() const { return image_size_; }
+  int num_classes() const { return num_classes_; }
+
+  /// Deterministically generates the i-th example of the stream.
+  Example make_example(std::int64_t index) const;
+
+  /// Batched generation: images stacked into [n, 3, s, s].
+  struct Batch {
+    tensor::Tensor images;
+    std::vector<int> labels;
+  };
+  Batch make_batch(std::int64_t start_index, int n) const;
+
+ private:
+  int image_size_;
+  int num_classes_;
+  std::uint64_t seed_;
+  double noise_;
+};
+
+}  // namespace cadmc::data

@@ -1,0 +1,3 @@
+// Header-only (see reward.h); translation unit kept so the build mirrors the
+// module inventory in DESIGN.md.
+#include "engine/reward.h"

@@ -1,0 +1,57 @@
+#include "latency/compute_model.h"
+
+namespace cadmc::latency {
+
+ComputeLatencyModel::ComputeLatencyModel(DeviceProfile profile)
+    : profile_(std::move(profile)) {}
+
+double ComputeLatencyModel::coeff_for(const nn::Layer& layer) const {
+  const nn::LayerSpec spec = layer.spec();
+  const bool quantized = spec.type == "conv_q8" || spec.type == "fc_q8";
+  const double speedup =
+      quantized && profile_.quant_speedup > 0.0 ? profile_.quant_speedup : 1.0;
+  if (spec.type == "fc" || spec.type == "fc_q8")
+    return profile_.fc_coeff / speedup;
+  // Conv-dominated layers (plain, depthwise, fire, residual, inverted
+  // residual) use the conv coefficient for their kernel size.
+  return profile_.conv_coeff(spec.kernel > 0 ? spec.kernel : 3) / speedup;
+}
+
+double ComputeLatencyModel::layer_latency_ms(const nn::Layer& layer,
+                                             const nn::Shape& in) const {
+  const std::int64_t macc = layer.macc(in);
+  if (macc == 0) return 0.0;  // pool/BN/dropout measured as negligible
+  return profile_.layer_overhead_ms +
+         static_cast<double>(macc) * coeff_for(layer) *
+             profile_.efficiency_factor(macc);
+}
+
+double ComputeLatencyModel::range_latency_ms(const nn::Model& model,
+                                             std::size_t begin,
+                                             std::size_t end) const {
+  nn::Shape s = model.input_shape();
+  double total = 0.0;
+  for (std::size_t i = 0; i < end; ++i) {
+    if (i >= begin) total += layer_latency_ms(model.layer(i), s);
+    s = model.layer(i).output_shape(s);
+  }
+  return total;
+}
+
+double ComputeLatencyModel::model_latency_ms(const nn::Model& model) const {
+  return range_latency_ms(model, 0, model.size());
+}
+
+std::vector<double> ComputeLatencyModel::layer_latencies_ms(
+    const nn::Model& model) const {
+  std::vector<double> out;
+  out.reserve(model.size());
+  nn::Shape s = model.input_shape();
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    out.push_back(layer_latency_ms(model.layer(i), s));
+    s = model.layer(i).output_shape(s);
+  }
+  return out;
+}
+
+}  // namespace cadmc::latency

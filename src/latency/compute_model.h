@@ -1,0 +1,37 @@
+// Computational-latency estimation (Te, Tc of Eqn. 3): latency of a layer is
+// its MACC count times a device/kernel-size coefficient plus a per-layer
+// overhead. The paper uses this estimator during offline search because
+// real-device measurement is "extremely inefficient and inaccurate".
+#pragma once
+
+#include "latency/device_profile.h"
+#include "latency/macc.h"
+#include "nn/model.h"
+
+namespace cadmc::latency {
+
+class ComputeLatencyModel {
+ public:
+  explicit ComputeLatencyModel(DeviceProfile profile);
+
+  const DeviceProfile& profile() const { return profile_; }
+
+  /// Latency of one layer given its per-sample input shape.
+  double layer_latency_ms(const nn::Layer& layer, const nn::Shape& in) const;
+
+  /// Latency of layers [begin, end) of the model.
+  double range_latency_ms(const nn::Model& model, std::size_t begin,
+                          std::size_t end) const;
+
+  /// Whole-model latency.
+  double model_latency_ms(const nn::Model& model) const;
+
+  /// Per-layer latencies for the whole model.
+  std::vector<double> layer_latencies_ms(const nn::Model& model) const;
+
+ private:
+  double coeff_for(const nn::Layer& layer) const;
+  DeviceProfile profile_;
+};
+
+}  // namespace cadmc::latency

@@ -1,0 +1,56 @@
+// Device latency profiles. The paper observes (Sec. V-B, Fig. 5) that
+// computational latency is linear in MACCs with per-kernel-size coefficients
+// for Conv layers on CPU platforms, while GPU platforms deviate because of
+// parallel execution — modelled here as a per-layer launch overhead on top
+// of a (much smaller) linear term.
+//
+// The three presets correspond to the paper's testbed: Xiaomi MI 6X
+// (phone, CPU), NVIDIA Jetson TX2 (edge GPU), and a GTX 1080 Ti server
+// (cloud). Coefficients are calibrated against Table I (see bench/table1).
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace cadmc::latency {
+
+struct DeviceProfile {
+  std::string name;
+  /// Conv-layer ms-per-MACC, keyed by kernel size; falls back to
+  /// `conv_coeff_default` for unlisted kernels (Fig. 5: coefficients differ
+  /// by kernel size on CPU platforms).
+  std::map<int, double> conv_coeff_by_kernel;
+  double conv_coeff_default = 0.0;
+  /// FC-layer ms-per-MACC (a single coefficient per device — Sec. V-B).
+  double fc_coeff = 0.0;
+  /// Per-layer fixed overhead in ms (kernel-launch cost; dominant on GPUs
+  /// for small layers, which is why GPU latency looks non-linear).
+  double layer_overhead_ms = 0.0;
+  /// Small-layer inefficiency: layers with few MACCs underutilize the
+  /// device (poor parallelism/cache behaviour), so the effective
+  /// ms-per-MACC is inflated by
+  ///   1 + small_layer_boost * scale / (scale + macc).
+  /// Large layers (macc >> scale) approach the asymptotic coefficient —
+  /// which is what Table I's 224x224 workloads measure — while CIFAR-scale
+  /// layers pay the boost. GPUs have a much larger boost than CPUs.
+  double small_layer_boost = 0.0;
+  double small_layer_scale_macc = 3.0e7;
+  /// Throughput multiplier for 8-bit-quantized layers (extension): CPU
+  /// integer kernels run ~1.8x faster; GPUs see little benefit at fp16+.
+  double quant_speedup = 1.0;
+
+  double conv_coeff(int kernel) const;
+  /// The effective per-MACC multiplier for a layer of the given size.
+  double efficiency_factor(std::int64_t macc) const;
+};
+
+/// Xiaomi MI 6X (CPU, ~3.4 GMACC/s on 3x3 convs).
+DeviceProfile phone_profile();
+/// NVIDIA Jetson TX2 (edge GPU).
+DeviceProfile tx2_profile();
+/// Cloud server: 2x Xeon E5-2630 + GTX 1080 Ti.
+DeviceProfile cloud_profile();
+
+DeviceProfile profile_by_name(const std::string& name);
+
+}  // namespace cadmc::latency

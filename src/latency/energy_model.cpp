@@ -1,0 +1,52 @@
+#include "latency/energy_model.h"
+
+#include <stdexcept>
+
+namespace cadmc::latency {
+
+EnergyProfile phone_energy_profile() {
+  EnergyProfile p;
+  p.name = "phone";
+  p.nj_per_macc = 0.8;
+  p.radio_tx_mw = 1800.0;
+  p.idle_mw = 250.0;
+  return p;
+}
+
+EnergyProfile tx2_energy_profile() {
+  EnergyProfile p;
+  p.name = "tx2";
+  p.nj_per_macc = 0.5;     // GPU inference is more energy-efficient per op
+  p.radio_tx_mw = 1200.0;  // tethered radio
+  p.idle_mw = 1500.0;      // board-level idle draw
+  return p;
+}
+
+EnergyModel::EnergyModel(EnergyProfile profile) : profile_(std::move(profile)) {
+  if (profile_.nj_per_macc < 0.0 || profile_.radio_tx_mw < 0.0 ||
+      profile_.idle_mw < 0.0)
+    throw std::invalid_argument("EnergyModel: negative coefficients");
+}
+
+double EnergyModel::inference_mj(std::int64_t edge_macc, double transfer_ms,
+                                 double wait_ms) const {
+  if (edge_macc < 0 || transfer_ms < 0.0 || wait_ms < 0.0)
+    throw std::invalid_argument("EnergyModel: negative inputs");
+  const double compute_mj =
+      static_cast<double>(edge_macc) * profile_.nj_per_macc * 1e-6;
+  // mW * ms = microjoules; /1000 -> millijoules.
+  const double radio_mj = profile_.radio_tx_mw * transfer_ms * 1e-3;
+  const double idle_mj = profile_.idle_mw * wait_ms * 1e-3;
+  return compute_mj + radio_mj + idle_mj;
+}
+
+double EnergyModel::strategy_mj(const nn::Model& model, std::size_t cut,
+                                double transfer_ms, double cloud_ms) const {
+  if (cut > model.size()) throw std::out_of_range("EnergyModel: bad cut");
+  const auto maccs = model.layer_maccs();
+  std::int64_t edge_macc = 0;
+  for (std::size_t i = 0; i < cut; ++i) edge_macc += maccs[i];
+  return inference_mj(edge_macc, transfer_ms, transfer_ms + cloud_ms);
+}
+
+}  // namespace cadmc::latency

@@ -1,0 +1,52 @@
+// Energy model (extension — see DESIGN.md). The paper motivates compression
+// partly by "the energy consumption on edge devices" (Sec. I) but evaluates
+// only latency/accuracy; this module adds the standard first-order mobile
+// energy accounting so strategies can also be compared on Joules:
+//   E = e_macc * MACCs_on_edge                  (compute)
+//     + p_radio_tx * transfer_seconds           (radio while uploading)
+//     + p_idle * (cloud+transfer wait seconds)  (device awake, waiting)
+// Coefficients follow published smartphone measurements (~0.5-1 nJ/MACC on
+// CPU inference, ~1-2.5 W radio TX power, hundreds of mW awake-idle).
+#pragma once
+
+#include <string>
+
+#include "latency/compute_model.h"
+#include "nn/model.h"
+
+namespace cadmc::latency {
+
+struct EnergyProfile {
+  std::string name;
+  double nj_per_macc = 0.8;        // edge compute energy
+  double radio_tx_mw = 1800.0;     // radio power while transmitting
+  double idle_mw = 250.0;          // awake-idle power while waiting
+};
+
+/// Xiaomi MI 6X-class phone.
+EnergyProfile phone_energy_profile();
+/// Jetson TX2 (wall-powered but thermally limited; larger budget).
+EnergyProfile tx2_energy_profile();
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyProfile profile);
+
+  const EnergyProfile& profile() const { return profile_; }
+
+  /// Millijoules for one inference: `edge_macc` multiply-accumulates run on
+  /// the device, `transfer_ms` of radio transmission and `wait_ms` of
+  /// awake-idle waiting (transfer + cloud time).
+  double inference_mj(std::int64_t edge_macc, double transfer_ms,
+                      double wait_ms) const;
+
+  /// Convenience: energy of running layers [0, cut) of `model` on the edge
+  /// with the given transfer/cloud times.
+  double strategy_mj(const nn::Model& model, std::size_t cut,
+                     double transfer_ms, double cloud_ms) const;
+
+ private:
+  EnergyProfile profile_;
+};
+
+}  // namespace cadmc::latency

@@ -1,0 +1,24 @@
+#include "latency/macc.h"
+
+#include <stdexcept>
+
+namespace cadmc::latency {
+
+std::int64_t MaccProfile::range_macc(std::size_t begin, std::size_t end) const {
+  if (begin > end || end >= prefix_maccs.size())
+    throw std::out_of_range("MaccProfile::range_macc");
+  return prefix_maccs[end] - prefix_maccs[begin];
+}
+
+MaccProfile profile_model(const nn::Model& model) {
+  MaccProfile profile;
+  profile.layer_maccs = model.layer_maccs();
+  profile.boundary_bytes = model.boundary_bytes();
+  profile.prefix_maccs.resize(profile.layer_maccs.size() + 1, 0);
+  for (std::size_t i = 0; i < profile.layer_maccs.size(); ++i)
+    profile.prefix_maccs[i + 1] = profile.prefix_maccs[i] + profile.layer_maccs[i];
+  profile.total_macc = profile.prefix_maccs.back();
+  return profile;
+}
+
+}  // namespace cadmc::latency

@@ -1,0 +1,25 @@
+// MACC profiling of a model (Eqns. 4-5): per-layer multiply-accumulate
+// counts, prefix sums for evaluating partition points, and the byte size of
+// the feature tensor at every cut boundary (the S of Eqn. 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace cadmc::latency {
+
+struct MaccProfile {
+  std::vector<std::int64_t> layer_maccs;     // size = model.size()
+  std::vector<std::int64_t> prefix_maccs;    // prefix[i] = sum of layers [0, i); size = size()+1
+  std::vector<std::int64_t> boundary_bytes;  // feature bytes at boundary i; size = size()+1
+  std::int64_t total_macc = 0;
+
+  /// MACCs of layers [begin, end).
+  std::int64_t range_macc(std::size_t begin, std::size_t end) const;
+};
+
+MaccProfile profile_model(const nn::Model& model);
+
+}  // namespace cadmc::latency

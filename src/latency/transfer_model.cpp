@@ -1,0 +1,44 @@
+#include "latency/transfer_model.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace cadmc::latency {
+
+double mbps_to_bytes_per_ms(double mbps) {
+  // 1 Mbps = 1e6 bits/s = 125000 bytes/s = 125 bytes/ms.
+  return mbps * 125.0;
+}
+
+double bytes_per_ms_to_mbps(double bytes_per_ms) { return bytes_per_ms / 125.0; }
+
+double TransferModel::latency_ms(std::int64_t bytes,
+                                 double bandwidth_bytes_per_ms) const {
+  if (bytes <= 0) return 0.0;
+  if (bandwidth_bytes_per_ms <= 0.0)
+    throw std::invalid_argument("TransferModel: non-positive bandwidth");
+  return rtt_ms +
+         (1.0 + size_coeff) * static_cast<double>(bytes) / bandwidth_bytes_per_ms;
+}
+
+TransferFit fit_transfer_model(std::span<const TransferObservation> obs) {
+  if (obs.size() < 2)
+    throw std::invalid_argument("fit_transfer_model: need >= 2 observations");
+  std::vector<double> xs, ys;
+  xs.reserve(obs.size());
+  ys.reserve(obs.size());
+  for (const auto& o : obs) {
+    xs.push_back(static_cast<double>(o.bytes) / o.bandwidth_bytes_per_ms);
+    ys.push_back(o.latency_ms);
+  }
+  const util::LinearFit fit = util::fit_linear(xs, ys);
+  TransferFit out;
+  out.model.rtt_ms = fit.intercept;
+  out.model.size_coeff = fit.slope - 1.0;
+  out.r2 = fit.r2;
+  return out;
+}
+
+}  // namespace cadmc::latency

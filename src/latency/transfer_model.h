@@ -1,0 +1,42 @@
+// Transfer-latency estimation (Tt of Eqn. 6):
+//   Tt = f(S | W) + S / W,
+// where S is the payload size in bytes, W the bandwidth, and f a linear
+// function of S given W (first-packet propagation). We parameterize
+//   f(S | W) = rtt_ms + size_coeff * S / W,
+// so Tt = rtt_ms + (1 + size_coeff) * S / W, and provide a least-squares
+// fitter that recovers the parameters from (S, W, Tt) observations — the
+// experiment behind the right half of Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cadmc::latency {
+
+/// Bandwidths are carried in bytes/ms internally; Mbps at the API surface.
+double mbps_to_bytes_per_ms(double mbps);
+double bytes_per_ms_to_mbps(double bytes_per_ms);
+
+struct TransferModel {
+  double rtt_ms = 12.0;      // first-packet propagation base
+  double size_coeff = 0.18;  // extra propagation proportional to S/W
+
+  /// Estimated transfer latency (Eqn. 6).
+  double latency_ms(std::int64_t bytes, double bandwidth_bytes_per_ms) const;
+};
+
+struct TransferObservation {
+  std::int64_t bytes = 0;
+  double bandwidth_bytes_per_ms = 0.0;
+  double latency_ms = 0.0;
+};
+
+struct TransferFit {
+  TransferModel model;
+  double r2 = 0.0;
+};
+
+/// Fits (rtt_ms, size_coeff) to observations by OLS on the regressor S/W.
+TransferFit fit_transfer_model(std::span<const TransferObservation> obs);
+
+}  // namespace cadmc::latency

@@ -1,0 +1,22 @@
+#include "net/estimator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cadmc::net {
+
+BandwidthEstimator::BandwidthEstimator(const BandwidthTrace& trace,
+                                       double staleness_ms, double alpha)
+    : trace_(trace), staleness_ms_(staleness_ms), ema_(alpha) {
+  if (staleness_ms < 0.0)
+    throw std::invalid_argument("BandwidthEstimator: negative staleness");
+  if (alpha <= 0.0 || alpha > 1.0)
+    throw std::invalid_argument("BandwidthEstimator: alpha out of (0,1]");
+}
+
+double BandwidthEstimator::estimate_at(double t_ms) {
+  const double measured = trace_.at(std::max(0.0, t_ms - staleness_ms_));
+  return ema_.update(measured);
+}
+
+}  // namespace cadmc::net

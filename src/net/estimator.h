@@ -1,0 +1,34 @@
+// Runtime bandwidth estimation. The online decision engine cannot see the
+// true instantaneous bandwidth — it sees a smoothed, slightly stale estimate
+// (EWMA over periodic measurements). The estimation error is one source of
+// the emulation-vs-field gap the paper reports (Sec. VII-B3: "a coarse
+// estimation of network conditions").
+#pragma once
+
+#include "net/trace.h"
+#include "util/stats.h"
+
+namespace cadmc::net {
+
+class BandwidthEstimator {
+ public:
+  /// `staleness_ms`: measurements reflect the link this long ago.
+  /// `alpha`: EWMA smoothing weight of the newest measurement.
+  BandwidthEstimator(const BandwidthTrace& trace, double staleness_ms,
+                     double alpha);
+
+  /// Feeds the measurement available at time t and returns the estimate.
+  double estimate_at(double t_ms);
+
+  /// True instantaneous bandwidth (for oracle comparisons).
+  double truth_at(double t_ms) const { return trace_.at(t_ms); }
+
+  void reset() { ema_.reset(); }
+
+ private:
+  const BandwidthTrace& trace_;
+  double staleness_ms_;
+  util::Ema ema_;
+};
+
+}  // namespace cadmc::net

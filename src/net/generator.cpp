@@ -1,0 +1,44 @@
+#include "net/generator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "latency/transfer_model.h"
+#include "util/rng.h"
+
+namespace cadmc::net {
+
+BandwidthTrace generate_trace(const TraceGeneratorParams& params,
+                              double duration_ms, std::uint64_t seed) {
+  if (duration_ms <= 0.0 || params.dt_ms <= 0.0 || params.mean_mbps <= 0.0)
+    throw std::invalid_argument("generate_trace: invalid parameters");
+  util::Rng rng(seed);
+  const std::size_t n =
+      static_cast<std::size_t>(std::ceil(duration_ms / params.dt_ms));
+  const double dt_s = params.dt_ms / 1000.0;
+  const double log_mean = std::log(params.mean_mbps);
+
+  std::vector<double> samples;
+  samples.reserve(n);
+  double log_bw = log_mean;
+  bool in_fade = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    // OU step in log space: d(log W) = theta (mu - log W) dt + sigma dB.
+    const double theta = params.reversion_per_s;
+    log_bw += theta * (log_mean - log_bw) * dt_s +
+              params.volatility * std::sqrt(dt_s) * rng.normal();
+    // Markov fade regime.
+    if (in_fade) {
+      if (rng.bernoulli(params.fade_exit_prob_per_s * dt_s)) in_fade = false;
+    } else {
+      if (rng.bernoulli(params.fade_prob_per_s * dt_s)) in_fade = true;
+    }
+    double mbps = std::exp(log_bw);
+    if (in_fade) mbps *= params.fade_depth;
+    mbps = std::max(mbps, 0.05);  // floor: the link never fully dies
+    samples.push_back(latency::mbps_to_bytes_per_ms(mbps));
+  }
+  return BandwidthTrace(params.dt_ms, std::move(samples));
+}
+
+}  // namespace cadmc::net

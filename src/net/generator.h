@@ -1,0 +1,28 @@
+// Synthetic bandwidth-trace generation (DESIGN.md substitution for the
+// paper's field-collected traces). The generator is a mean-reverting
+// Ornstein–Uhlenbeck process in log-bandwidth space modulated by a two-state
+// Markov fade regime, which reproduces the qualitative features of Fig. 1:
+// second-scale drastic variation, mobility-dependent volatility, and deep
+// fades under weak signal.
+#pragma once
+
+#include <cstdint>
+
+#include "net/trace.h"
+
+namespace cadmc::net {
+
+struct TraceGeneratorParams {
+  double mean_mbps = 8.0;        // long-run bandwidth mean
+  double volatility = 0.3;       // OU noise scale (log space, per sqrt(s))
+  double reversion_per_s = 1.0;  // OU mean-reversion rate
+  double fade_prob_per_s = 0.05; // chance of entering a deep-fade regime
+  double fade_exit_prob_per_s = 0.5;
+  double fade_depth = 0.2;       // bandwidth multiplier while in a fade
+  double dt_ms = 100.0;          // sample interval
+};
+
+BandwidthTrace generate_trace(const TraceGeneratorParams& params,
+                              double duration_ms, std::uint64_t seed);
+
+}  // namespace cadmc::net

@@ -1,0 +1,64 @@
+#include "net/scenes.h"
+
+#include <stdexcept>
+
+namespace cadmc::net {
+
+namespace {
+Scene make_scene(std::string name, double mean_mbps, double volatility,
+                 double fade_prob, double fade_depth, double rtt_ms) {
+  Scene s;
+  s.name = std::move(name);
+  s.trace.mean_mbps = mean_mbps;
+  s.trace.volatility = volatility;
+  s.trace.fade_prob_per_s = fade_prob;
+  s.trace.fade_depth = fade_depth;
+  s.rtt_ms = rtt_ms;
+  return s;
+}
+}  // namespace
+
+std::vector<Scene> all_scenes() {
+  // Mean bandwidth / volatility / fades tuned per environment class:
+  //  * weak signal  -> low mean, frequent deep fades,
+  //  * quick motion -> high volatility (Fig. 1 left),
+  //  * static       -> low volatility,
+  //  * 4G has a higher RTT than WiFi.
+  // Uplink bandwidths (features flow edge -> cloud), hence the low means.
+  return {
+      make_scene("4G (weak) indoor", 0.6, 0.45, 0.30, 0.25, 25.0),
+      make_scene("4G indoor static", 2.5, 0.12, 0.02, 0.50, 18.0),
+      make_scene("4G indoor slow", 1.8, 0.30, 0.08, 0.40, 20.0),
+      make_scene("4G outdoor quick", 3.5, 0.75, 0.25, 0.20, 22.0),
+      make_scene("WiFi (weak) indoor", 1.2, 0.50, 0.25, 0.25, 9.0),
+      make_scene("WiFi (weak) outdoor", 1.0, 0.60, 0.30, 0.20, 10.0),
+      make_scene("WiFi outdoor slow", 4.0, 0.40, 0.10, 0.35, 8.0),
+  };
+}
+
+Scene scene_by_name(const std::string& name) {
+  for (const Scene& s : all_scenes())
+    if (s.name == name) return s;
+  throw std::invalid_argument("scene_by_name: unknown scene " + name);
+}
+
+std::vector<EvalContext> paper_contexts() {
+  std::vector<EvalContext> out;
+  const char* vgg_phone[] = {"4G (weak) indoor",   "4G indoor static",
+                             "4G indoor slow",     "4G outdoor quick",
+                             "WiFi (weak) indoor", "WiFi (weak) outdoor",
+                             "WiFi outdoor slow"};
+  for (const char* env : vgg_phone)
+    out.push_back({"VGG11", "phone", scene_by_name(env)});
+  const char* vgg_tx2[] = {"4G (weak) indoor", "4G indoor static",
+                           "WiFi (weak) indoor"};
+  for (const char* env : vgg_tx2)
+    out.push_back({"VGG11", "tx2", scene_by_name(env)});
+  const char* alex_phone[] = {"4G indoor static", "WiFi (weak) indoor",
+                              "WiFi (weak) outdoor", "WiFi outdoor slow"};
+  for (const char* env : alex_phone)
+    out.push_back({"AlexNet", "phone", scene_by_name(env)});
+  return out;
+}
+
+}  // namespace cadmc::net

@@ -1,0 +1,36 @@
+// The real-life network scenes of Sec. VII: 4G/WiFi, weak/normal signal,
+// static/slow/quick mobility. Each scene carries trace-generator parameters
+// and the link RTT used by the transfer-latency model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/generator.h"
+
+namespace cadmc::net {
+
+struct Scene {
+  std::string name;            // e.g. "4G (weak) indoor"
+  TraceGeneratorParams trace;  // calibrated generator parameters
+  double rtt_ms = 15.0;        // first-packet propagation base for this link
+};
+
+/// The seven distinct phone/TX2 environments used across Tables III-V.
+std::vector<Scene> all_scenes();
+
+/// Throws std::invalid_argument for an unknown name.
+Scene scene_by_name(const std::string& name);
+
+/// The (model, device, environment) rows of Tables III-V.
+struct EvalContext {
+  std::string model;   // "VGG11" or "AlexNet"
+  std::string device;  // "phone" or "tx2"
+  Scene scene;
+};
+
+/// The 10 VGG11 rows (7 phone + 3 TX2) followed by the 4 AlexNet rows,
+/// in the paper's table order.
+std::vector<EvalContext> paper_contexts();
+
+}  // namespace cadmc::net

@@ -1,0 +1,73 @@
+#include "net/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/stats.h"
+
+namespace cadmc::net {
+
+BandwidthTrace::BandwidthTrace(double dt_ms, std::vector<double> samples)
+    : dt_ms_(dt_ms), samples_(std::move(samples)) {
+  if (dt_ms <= 0.0) throw std::invalid_argument("BandwidthTrace: dt_ms <= 0");
+  for (double s : samples_)
+    if (!(s > 0.0)) throw std::invalid_argument("BandwidthTrace: non-positive sample");
+}
+
+double BandwidthTrace::at(double t_ms) const {
+  if (samples_.empty())
+    throw std::logic_error("BandwidthTrace::at: empty trace");
+  const double idx = t_ms / dt_ms_;
+  const std::int64_t i = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::floor(idx)), 0,
+      static_cast<std::int64_t>(samples_.size()) - 1);
+  return samples_[static_cast<std::size_t>(i)];
+}
+
+double BandwidthTrace::quantile(double q) const {
+  if (samples_.empty())
+    throw std::logic_error("BandwidthTrace::quantile: empty trace");
+  return util::quantile(samples_, q);
+}
+
+double BandwidthTrace::mean() const { return util::mean(samples_); }
+
+int BandwidthTrace::classify(double bandwidth, int k) const {
+  if (k <= 1) return 0;
+  for (int fork = 1; fork < k; ++fork) {
+    const double threshold = quantile(static_cast<double>(fork) / k);
+    if (bandwidth < threshold) return fork - 1;
+  }
+  return k - 1;
+}
+
+bool BandwidthTrace::save_csv(const std::string& path) const {
+  util::CsvWriter csv({"t_ms", "bandwidth_bytes_per_ms"});
+  for (std::size_t i = 0; i < samples_.size(); ++i)
+    csv.add_row(std::vector<double>{dt_ms_ * static_cast<double>(i), samples_[i]});
+  return csv.save(path);
+}
+
+BandwidthTrace BandwidthTrace::load_csv(const std::string& path) {
+  std::string text;
+  if (!util::read_file(path, text))
+    throw std::runtime_error("BandwidthTrace::load_csv: cannot read " + path);
+  const auto rows = util::parse_csv(text);
+  if (rows.size() < 3)
+    throw std::runtime_error("BandwidthTrace::load_csv: too few rows");
+  std::vector<double> samples;
+  double dt = 0.0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() < 2)
+      throw std::runtime_error("BandwidthTrace::load_csv: malformed row");
+    const double t = std::stod(rows[i][0]);
+    if (i == 2) dt = t - std::stod(rows[1][0]);
+    samples.push_back(std::stod(rows[i][1]));
+  }
+  if (dt <= 0.0) throw std::runtime_error("BandwidthTrace::load_csv: bad dt");
+  return BandwidthTrace(dt, std::move(samples));
+}
+
+}  // namespace cadmc::net

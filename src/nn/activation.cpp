@@ -1,0 +1,93 @@
+#include "nn/activation.h"
+
+#include <stdexcept>
+
+namespace cadmc::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool training) {
+  if (training) cached_input_ = input;
+  Tensor out = input;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    float v = out.at(i);
+    if (v < 0.0f) v = 0.0f;
+    if (cap_ > 0.0f && v > cap_) v = cap_;
+    out.at(i) = v;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  for (std::int64_t i = 0; i < grad_in.numel(); ++i) {
+    const float x = cached_input_.at(i);
+    const bool pass = x > 0.0f && (cap_ <= 0.0f || x < cap_);
+    if (!pass) grad_in.at(i) = 0.0f;
+  }
+  return grad_in;
+}
+
+LayerSpec ReLU::spec() const {
+  return LayerSpec{cap_ > 0.0f ? "relu6" : "relu", 0, 0, 0, 0};
+}
+
+std::unique_ptr<Layer> ReLU::clone() const {
+  return std::make_unique<ReLU>(*this);
+}
+
+Tensor Flatten::forward(const Tensor& input, bool training) {
+  if (training) cached_shape_ = input.shape();
+  if (input.rank() == 2) return input;
+  const int n = input.dim(0);
+  const int d = static_cast<int>(input.numel() / n);
+  return input.reshaped({n, d});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_shape_);
+}
+
+LayerSpec Flatten::spec() const { return LayerSpec{"flatten", 0, 0, 0, 0}; }
+
+Shape Flatten::output_shape(const Shape& in) const {
+  int d = 1;
+  for (int v : in) d *= v;
+  return {d};
+}
+
+std::unique_ptr<Layer> Flatten::clone() const {
+  return std::make_unique<Flatten>(*this);
+}
+
+Dropout::Dropout(double drop_prob, std::uint64_t seed)
+    : drop_prob_(drop_prob), rng_(seed) {
+  if (drop_prob < 0.0 || drop_prob >= 1.0)
+    throw std::invalid_argument("Dropout: p must be in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  if (!training || drop_prob_ == 0.0) return input;
+  mask_ = Tensor(input.shape());
+  const float scale = static_cast<float>(1.0 / (1.0 - drop_prob_));
+  Tensor out = input;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    const bool keep = !rng_.bernoulli(drop_prob_);
+    mask_.at(i) = keep ? scale : 0.0f;
+    out.at(i) *= mask_.at(i);
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;
+  Tensor grad_in = grad_out;
+  for (std::int64_t i = 0; i < grad_in.numel(); ++i) grad_in.at(i) *= mask_.at(i);
+  return grad_in;
+}
+
+LayerSpec Dropout::spec() const { return LayerSpec{"dropout", 0, 0, 0, 0}; }
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  return std::make_unique<Dropout>(*this);
+}
+
+}  // namespace cadmc::nn

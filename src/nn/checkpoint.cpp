@@ -1,0 +1,68 @@
+#include "nn/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serialize.h"
+
+namespace cadmc::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x504B4443;  // "CDKP"
+}
+
+std::vector<std::uint8_t> encode_weights(Model& model) {
+  std::vector<std::uint8_t> out;
+  const auto params = model.params();
+  const std::uint32_t magic = kMagic;
+  const std::uint32_t count = static_cast<std::uint32_t>(params.size());
+  out.insert(out.end(), reinterpret_cast<const std::uint8_t*>(&magic),
+             reinterpret_cast<const std::uint8_t*>(&magic) + 4);
+  out.insert(out.end(), reinterpret_cast<const std::uint8_t*>(&count),
+             reinterpret_cast<const std::uint8_t*>(&count) + 4);
+  for (const tensor::Tensor* p : params) tensor::encode_tensor(*p, out);
+  return out;
+}
+
+bool save_weights(Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const auto buffer = encode_weights(model);
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+  return static_cast<bool>(out);
+}
+
+void decode_weights(Model& model, const std::vector<std::uint8_t>& buffer) {
+  if (buffer.size() < 8)
+    throw std::runtime_error("decode_weights: truncated header");
+  std::uint32_t magic = 0, count = 0;
+  std::memcpy(&magic, buffer.data(), 4);
+  std::memcpy(&count, buffer.data() + 4, 4);
+  if (magic != kMagic) throw std::runtime_error("decode_weights: bad magic");
+  const auto params = model.params();
+  if (count != params.size())
+    throw std::runtime_error("decode_weights: parameter count mismatch (" +
+                             std::to_string(count) + " vs " +
+                             std::to_string(params.size()) + ")");
+  std::size_t offset = 8;
+  for (tensor::Tensor* p : params) {
+    tensor::Tensor loaded = tensor::decode_tensor(buffer, offset);
+    if (loaded.shape() != p->shape())
+      throw std::runtime_error("decode_weights: tensor shape mismatch");
+    *p = std::move(loaded);
+  }
+  if (offset != buffer.size())
+    throw std::runtime_error("decode_weights: trailing bytes");
+}
+
+void load_weights(Model& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_weights: cannot open " + path);
+  std::vector<std::uint8_t> buffer((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+  decode_weights(model, buffer);
+}
+
+}  // namespace cadmc::nn

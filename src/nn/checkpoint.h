@@ -1,0 +1,23 @@
+// Weight checkpointing: save/load every parameter tensor of a model. The
+// architecture itself is NOT serialized — the loader validates that the
+// target model's parameter shapes match the checkpoint (the offline phase
+// rebuilds architectures from strategies; only the trained weights need to
+// move between processes).
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace cadmc::nn {
+
+/// Serializes all parameters (in params() order) to a buffer/file.
+std::vector<std::uint8_t> encode_weights(Model& model);
+bool save_weights(Model& model, const std::string& path);
+
+/// Loads parameters into `model`. Throws std::runtime_error when the
+/// checkpoint is malformed or any tensor shape mismatches.
+void decode_weights(Model& model, const std::vector<std::uint8_t>& buffer);
+void load_weights(Model& model, const std::string& path);
+
+}  // namespace cadmc::nn

@@ -1,0 +1,222 @@
+#include "nn/factory.h"
+
+#include <stdexcept>
+
+#include "nn/activation.h"
+#include "nn/composite.h"
+#include "nn/conv.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+#include "util/rng.h"
+
+namespace cadmc::nn {
+
+namespace {
+void add_conv_relu(Model& m, int in_c, int out_c, int k, int s, int p,
+                   util::Rng& rng) {
+  m.add(std::make_unique<Conv2d>(in_c, out_c, k, s, p, rng));
+  m.add(std::make_unique<ReLU>());
+}
+}  // namespace
+
+Model make_vgg11(int num_classes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Model m({3, 32, 32});
+  // Feature extractor: VGG-A configuration (64, M, 128, M, 256x2, M,
+  // 512x2, M, 512x2, M) on 32x32 inputs -> 512x1x1.
+  add_conv_relu(m, 3, 64, 3, 1, 1, rng);
+  m.add(std::make_unique<MaxPool2d>(2, 2));  // 16
+  add_conv_relu(m, 64, 128, 3, 1, 1, rng);
+  m.add(std::make_unique<MaxPool2d>(2, 2));  // 8
+  add_conv_relu(m, 128, 256, 3, 1, 1, rng);
+  add_conv_relu(m, 256, 256, 3, 1, 1, rng);
+  m.add(std::make_unique<MaxPool2d>(2, 2));  // 4
+  add_conv_relu(m, 256, 512, 3, 1, 1, rng);
+  add_conv_relu(m, 512, 512, 3, 1, 1, rng);
+  m.add(std::make_unique<MaxPool2d>(2, 2));  // 2
+  add_conv_relu(m, 512, 512, 3, 1, 1, rng);
+  add_conv_relu(m, 512, 512, 3, 1, 1, rng);
+  m.add(std::make_unique<MaxPool2d>(2, 2));  // 1
+  // Classifier (CIFAR-scale widths, as in common VGG11-on-CIFAR setups).
+  m.add(std::make_unique<Flatten>());
+  m.add(std::make_unique<Linear>(512, 512, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Dropout>(0.5, seed ^ 0xD0));
+  m.add(std::make_unique<Linear>(512, 512, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Dropout>(0.5, seed ^ 0xD1));
+  m.add(std::make_unique<Linear>(512, num_classes, rng));
+  return m;
+}
+
+Model make_alexnet(int num_classes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Model m({3, 32, 32});
+  // CIFAR-scale AlexNet.
+  add_conv_relu(m, 3, 64, 3, 2, 1, rng);   // 16
+  m.add(std::make_unique<MaxPool2d>(2, 2));  // 8
+  add_conv_relu(m, 64, 192, 3, 1, 1, rng);
+  m.add(std::make_unique<MaxPool2d>(2, 2));  // 4
+  add_conv_relu(m, 192, 384, 3, 1, 1, rng);
+  add_conv_relu(m, 384, 256, 3, 1, 1, rng);
+  add_conv_relu(m, 256, 256, 3, 1, 1, rng);
+  m.add(std::make_unique<MaxPool2d>(2, 2));  // 2
+  m.add(std::make_unique<Flatten>());
+  m.add(std::make_unique<Linear>(256 * 2 * 2, 1024, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Dropout>(0.5, seed ^ 0xA0));
+  m.add(std::make_unique<Linear>(1024, 1024, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Linear>(1024, num_classes, rng));
+  return m;
+}
+
+Model make_vgg19_imagenet(int num_classes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Model m({3, 224, 224});
+  const int cfg[][2] = {// {out_channels, repeat}
+                        {64, 2}, {128, 2}, {256, 4}, {512, 4}, {512, 4}};
+  int in_c = 3;
+  for (const auto& [out_c, repeat] : cfg) {
+    for (int r = 0; r < repeat; ++r) {
+      add_conv_relu(m, in_c, out_c, 3, 1, 1, rng);
+      in_c = out_c;
+    }
+    m.add(std::make_unique<MaxPool2d>(2, 2));
+  }
+  m.add(std::make_unique<Flatten>());  // 512*7*7
+  m.add(std::make_unique<Linear>(512 * 7 * 7, 4096, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Linear>(4096, 4096, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Linear>(4096, num_classes, rng));
+  return m;
+}
+
+Model make_resnet_imagenet(int depth, int num_classes, std::uint64_t seed) {
+  int stage_blocks[4];
+  switch (depth) {
+    case 50: stage_blocks[0] = 3; stage_blocks[1] = 4; stage_blocks[2] = 6; stage_blocks[3] = 3; break;
+    case 101: stage_blocks[0] = 3; stage_blocks[1] = 4; stage_blocks[2] = 23; stage_blocks[3] = 3; break;
+    case 152: stage_blocks[0] = 3; stage_blocks[1] = 8; stage_blocks[2] = 36; stage_blocks[3] = 3; break;
+    default:
+      throw std::invalid_argument("make_resnet_imagenet: depth must be 50/101/152");
+  }
+  util::Rng rng(seed);
+  Model m({3, 224, 224});
+  m.add(std::make_unique<Conv2d>(3, 64, 7, 2, 3, rng));  // 112
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<MaxPool2d>(3, 2));  // 55 (no padding in our pool)
+  int in_c = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int mid = 64 << stage;
+    const int out = mid * 4;
+    for (int b = 0; b < stage_blocks[stage]; ++b) {
+      const int stride = (stage > 0 && b == 0) ? 2 : 1;
+      m.add(std::make_unique<ResidualBlock>(in_c, mid, out, stride,
+                                            /*bottleneck=*/true, rng));
+      in_c = out;
+    }
+  }
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Linear>(in_c, num_classes, rng));
+  return m;
+}
+
+namespace {
+void add_depthwise_separable(Model& m, int in_c, int out_c, int stride,
+                             util::Rng& rng) {
+  m.add(std::make_unique<Conv2d>(in_c, in_c, 3, stride, 1, rng, in_c));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Conv2d>(in_c, out_c, 1, 1, 0, rng));
+  m.add(std::make_unique<ReLU>());
+}
+}  // namespace
+
+Model make_mobilenet(int num_classes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Model m({3, 32, 32});
+  add_conv_relu(m, 3, 32, 3, 1, 1, rng);
+  add_depthwise_separable(m, 32, 64, 1, rng);
+  add_depthwise_separable(m, 64, 128, 2, rng);   // 16
+  add_depthwise_separable(m, 128, 128, 1, rng);
+  add_depthwise_separable(m, 128, 256, 2, rng);  // 8
+  add_depthwise_separable(m, 256, 256, 1, rng);
+  add_depthwise_separable(m, 256, 512, 2, rng);  // 4
+  add_depthwise_separable(m, 512, 512, 1, rng);
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Linear>(512, num_classes, rng));
+  return m;
+}
+
+Model make_squeezenet(int num_classes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Model m({3, 32, 32});
+  add_conv_relu(m, 3, 96, 3, 1, 1, rng);
+  m.add(std::make_unique<MaxPool2d>(2, 2));  // 16
+  m.add(std::make_unique<Fire>(96, 16, 64, rng));    // -> 128
+  m.add(std::make_unique<Fire>(128, 16, 64, rng));   // -> 128
+  m.add(std::make_unique<MaxPool2d>(2, 2));  // 8
+  m.add(std::make_unique<Fire>(128, 32, 128, rng));  // -> 256
+  m.add(std::make_unique<Fire>(256, 32, 128, rng));  // -> 256
+  m.add(std::make_unique<MaxPool2d>(2, 2));  // 4
+  m.add(std::make_unique<Conv2d>(256, num_classes, 1, 1, 0, rng));
+  m.add(std::make_unique<GlobalAvgPool>());
+  return m;
+}
+
+Model make_tiny_cnn(int num_classes, int image_size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Model m({3, image_size, image_size});
+  add_conv_relu(m, 3, 8, 3, 1, 1, rng);
+  m.add(std::make_unique<MaxPool2d>(2, 2));
+  add_conv_relu(m, 8, 16, 3, 1, 1, rng);
+  m.add(std::make_unique<MaxPool2d>(2, 2));
+  m.add(std::make_unique<Flatten>());
+  const int flat = 16 * (image_size / 4) * (image_size / 4);
+  m.add(std::make_unique<Linear>(flat, 64, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Linear>(64, num_classes, rng));
+  return m;
+}
+
+Model make_mlp(int in_features, int hidden, int num_classes,
+               std::uint64_t seed) {
+  util::Rng rng(seed);
+  Model m({in_features});
+  m.add(std::make_unique<Linear>(in_features, hidden, rng));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Linear>(hidden, num_classes, rng));
+  return m;
+}
+
+std::vector<std::size_t> block_boundaries(const Model& model,
+                                          std::size_t num_blocks) {
+  if (num_blocks == 0) throw std::invalid_argument("block_boundaries: zero blocks");
+  const auto maccs = model.layer_maccs();
+  std::int64_t total = 0;
+  for (std::int64_t v : maccs) total += v;
+  std::vector<std::size_t> boundaries;
+  if (num_blocks <= 1 || model.size() <= 1) return boundaries;
+  std::int64_t cumulative = 0;
+  std::size_t next_block = 1;
+  for (std::size_t i = 0; i + 1 < model.size() && next_block < num_blocks; ++i) {
+    cumulative += maccs[i];
+    const std::int64_t target =
+        total * static_cast<std::int64_t>(next_block) /
+        static_cast<std::int64_t>(num_blocks);
+    if (cumulative >= target) {
+      boundaries.push_back(i + 1);
+      ++next_block;
+    }
+  }
+  // Guarantee exactly num_blocks - 1 strictly increasing boundaries.
+  while (boundaries.size() < num_blocks - 1) {
+    const std::size_t last = boundaries.empty() ? 0 : boundaries.back();
+    if (last + 1 >= model.size()) break;
+    boundaries.push_back(last + 1);
+  }
+  return boundaries;
+}
+
+}  // namespace cadmc::nn

@@ -1,0 +1,47 @@
+// Base-model factory. Builds the architectures the paper evaluates:
+//  * VGG11 and AlexNet on 3x32x32 inputs (CIFAR10-scale) — the two base DNNs
+//    of Sec. VII,
+//  * VGG19 and ResNet-50/101/152 on 3x224x224 inputs — used by Table I's
+//    on-device latency measurements,
+//  * miniature CNN/MLP models used by tests and RealEval examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace cadmc::nn {
+
+Model make_vgg11(int num_classes = 10, std::uint64_t seed = 1);
+Model make_alexnet(int num_classes = 10, std::uint64_t seed = 2);
+Model make_vgg19_imagenet(int num_classes = 1000, std::uint64_t seed = 3);
+/// depth must be 50, 101 or 152.
+Model make_resnet_imagenet(int depth, int num_classes = 1000,
+                           std::uint64_t seed = 4);
+
+/// MobileNet(v1)-style CIFAR model: stem conv + depthwise-separable stacks.
+/// Already-compact base DNN — used to study how the engine behaves when the
+/// base model leaves little room for further compression (generalization
+/// beyond the paper's VGG11/AlexNet).
+Model make_mobilenet(int num_classes = 10, std::uint64_t seed = 12);
+
+/// SqueezeNet-style CIFAR model built from Fire modules.
+Model make_squeezenet(int num_classes = 10, std::uint64_t seed = 13);
+
+/// Small CNN for real end-to-end training in tests/examples.
+/// input {3, image_size, image_size}.
+Model make_tiny_cnn(int num_classes = 10, int image_size = 16,
+                    std::uint64_t seed = 5);
+/// Small MLP on flat {in} inputs.
+Model make_mlp(int in_features, int hidden, int num_classes,
+               std::uint64_t seed = 6);
+
+/// Splits the model into `num_blocks` contiguous blocks of roughly equal
+/// MACC cost. Returns the boundary layer indices: boundaries[i] is the first
+/// layer of block i+1; implicit boundaries 0 and size() frame the blocks.
+/// Used to slice the base DNN into the N blocks of the model tree (Alg. 3).
+std::vector<std::size_t> block_boundaries(const Model& model,
+                                          std::size_t num_blocks);
+
+}  // namespace cadmc::nn

@@ -1,0 +1,33 @@
+// Classification losses: softmax cross-entropy against hard labels, and the
+// knowledge-distillation loss of Sec. VI-D (soft targets from the base DNN's
+// logits, temperature-scaled KL, blended with the hard-label loss).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cadmc::nn {
+
+struct LossResult {
+  double loss = 0.0;
+  tensor::Tensor grad;  // dL/dlogits, same shape as logits [N,C]
+};
+
+/// Mean softmax cross-entropy over the batch.
+LossResult cross_entropy(const tensor::Tensor& logits,
+                         const std::vector<int>& labels);
+
+/// Knowledge distillation (Sec. VI-D): the composed model is trained against
+/// the base model's output logits instead of ground-truth labels.
+/// loss = alpha * T^2 * KL(softmax(teacher/T) || softmax(student/T))
+///      + (1-alpha) * CE(student, labels).
+LossResult distillation_loss(const tensor::Tensor& student_logits,
+                             const tensor::Tensor& teacher_logits,
+                             const std::vector<int>& labels,
+                             double temperature = 4.0, double alpha = 0.9);
+
+/// Top-1 accuracy of logits vs labels, per Eqn. (2).
+double accuracy(const tensor::Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace cadmc::nn

@@ -1,0 +1,89 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cadmc::nn {
+
+using tensor::Tensor;
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+void Sgd::step(const std::vector<Tensor*>& params,
+               const std::vector<Tensor*>& grads) {
+  if (params.size() != grads.size())
+    throw std::invalid_argument("Sgd::step: params/grads size mismatch");
+  if (momentum_ > 0.0 && velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (Tensor* p : params) velocity_.emplace_back(p->shape());
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    if (momentum_ > 0.0) {
+      Tensor& v = velocity_[i];
+      for (std::int64_t j = 0; j < p.numel(); ++j) {
+        const float grad =
+            g.at(j) + static_cast<float>(weight_decay_) * p.at(j);
+        v.at(j) = static_cast<float>(momentum_) * v.at(j) + grad;
+        p.at(j) -= static_cast<float>(lr_) * v.at(j);
+      }
+    } else {
+      for (std::int64_t j = 0; j < p.numel(); ++j) {
+        const float grad =
+            g.at(j) + static_cast<float>(weight_decay_) * p.at(j);
+        p.at(j) -= static_cast<float>(lr_) * grad;
+      }
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::step(const std::vector<Tensor*>& params,
+                const std::vector<Tensor*>& grads) {
+  if (params.size() != grads.size())
+    throw std::invalid_argument("Adam::step: params/grads size mismatch");
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (Tensor* p : params) {
+      m_.emplace_back(p->shape());
+      v_.emplace_back(p->shape());
+    }
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::int64_t j = 0; j < p.numel(); ++j) {
+      const double gj = g.at(j);
+      m.at(j) = static_cast<float>(beta1_ * m.at(j) + (1.0 - beta1_) * gj);
+      v.at(j) = static_cast<float>(beta2_ * v.at(j) + (1.0 - beta2_) * gj * gj);
+      const double mhat = m.at(j) / bc1;
+      const double vhat = v.at(j) / bc2;
+      p.at(j) -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+double clip_grad_norm(const std::vector<Tensor*>& grads, double max_norm) {
+  double total = 0.0;
+  for (const Tensor* g : grads)
+    for (std::int64_t j = 0; j < g->numel(); ++j)
+      total += static_cast<double>(g->at(j)) * g->at(j);
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Tensor* g : grads) g->scale_(scale);
+  }
+  return norm;
+}
+
+}  // namespace cadmc::nn

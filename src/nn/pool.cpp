@@ -1,0 +1,93 @@
+#include "nn/pool.h"
+
+#include <stdexcept>
+
+namespace cadmc::nn {
+
+MaxPool2d::MaxPool2d(int kernel, int stride) : kernel_(kernel), stride_(stride) {
+  if (kernel <= 0 || stride <= 0)
+    throw std::invalid_argument("MaxPool2d: invalid hyper-parameters");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool training) {
+  auto result = tensor::maxpool2d(input, kernel_, stride_);
+  if (training) {
+    cached_input_ = input;
+    cached_fwd_ = result;
+  }
+  return result.output;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  return tensor::maxpool2d_backward(cached_input_, cached_fwd_, grad_out);
+}
+
+LayerSpec MaxPool2d::spec() const {
+  return LayerSpec{"maxpool", kernel_, stride_, 0, 0};
+}
+
+Shape MaxPool2d::output_shape(const Shape& in) const {
+  if (in.size() != 3) throw std::invalid_argument("MaxPool2d: expected {c,h,w}");
+  const int ho = tensor::conv_out_size(in[1], kernel_, stride_, 0);
+  const int wo = tensor::conv_out_size(in[2], kernel_, stride_, 0);
+  if (ho <= 0 || wo <= 0) throw std::invalid_argument("MaxPool2d: empty output");
+  return {in[0], ho, wo};
+}
+
+std::unique_ptr<Layer> MaxPool2d::clone() const {
+  return std::make_unique<MaxPool2d>(*this);
+}
+
+AvgPool2d::AvgPool2d(int kernel, int stride) : kernel_(kernel), stride_(stride) {
+  if (kernel <= 0 || stride <= 0)
+    throw std::invalid_argument("AvgPool2d: invalid hyper-parameters");
+}
+
+Tensor AvgPool2d::forward(const Tensor& input, bool training) {
+  if (training) cached_input_ = input;
+  return tensor::avgpool2d(input, kernel_, stride_);
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  return tensor::avgpool2d_backward(cached_input_, kernel_, stride_, grad_out);
+}
+
+LayerSpec AvgPool2d::spec() const {
+  return LayerSpec{"avgpool", kernel_, stride_, 0, 0};
+}
+
+Shape AvgPool2d::output_shape(const Shape& in) const {
+  if (in.size() != 3) throw std::invalid_argument("AvgPool2d: expected {c,h,w}");
+  const int ho = tensor::conv_out_size(in[1], kernel_, stride_, 0);
+  const int wo = tensor::conv_out_size(in[2], kernel_, stride_, 0);
+  if (ho <= 0 || wo <= 0) throw std::invalid_argument("AvgPool2d: empty output");
+  return {in[0], ho, wo};
+}
+
+std::unique_ptr<Layer> AvgPool2d::clone() const {
+  return std::make_unique<AvgPool2d>(*this);
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
+  if (training) cached_input_ = input;
+  return tensor::global_avgpool(input);
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  return tensor::global_avgpool_backward(cached_input_, grad_out);
+}
+
+LayerSpec GlobalAvgPool::spec() const {
+  return LayerSpec{"gap", 0, 0, 0, 0};
+}
+
+Shape GlobalAvgPool::output_shape(const Shape& in) const {
+  if (in.size() != 3) throw std::invalid_argument("GlobalAvgPool: expected {c,h,w}");
+  return {in[0]};
+}
+
+std::unique_ptr<Layer> GlobalAvgPool::clone() const {
+  return std::make_unique<GlobalAvgPool>(*this);
+}
+
+}  // namespace cadmc::nn

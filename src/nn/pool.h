@@ -1,0 +1,60 @@
+// Pooling layers: max, average and global-average (the F3 replacement for
+// FC heads in Table II). Pooling MACCs are negligible per the paper's
+// measurements, so macc() stays 0.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace cadmc::nn {
+
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(int kernel, int stride);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  LayerSpec spec() const override;
+  Shape output_shape(const Shape& in) const override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  int kernel_, stride_;
+  Tensor cached_input_;
+  tensor::MaxPoolResult cached_fwd_;
+};
+
+class AvgPool2d : public Layer {
+ public:
+  AvgPool2d(int kernel, int stride);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  LayerSpec spec() const override;
+  Shape output_shape(const Shape& in) const override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  int kernel_, stride_;
+  Tensor cached_input_;
+};
+
+/// [N,C,H,W] -> [N,C]; replaces FC heads under the F3 transform.
+class GlobalAvgPool : public Layer {
+ public:
+  GlobalAvgPool() = default;
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  LayerSpec spec() const override;
+  Shape output_shape(const Shape& in) const override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor cached_input_;
+};
+
+}  // namespace cadmc::nn

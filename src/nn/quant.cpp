@@ -1,0 +1,54 @@
+#include "nn/quant.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cadmc::nn {
+
+float quantize_tensor(tensor::Tensor& t, int bits) {
+  if (bits < 2 || bits > 16)
+    throw std::invalid_argument("quantize_tensor: bits out of [2,16]");
+  const float max_abs = t.abs_max();
+  if (max_abs == 0.0f) return 0.0f;
+  const float levels = static_cast<float>((1 << (bits - 1)) - 1);
+  const float scale = max_abs / levels;
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t.at(i) = std::round(t.at(i) / scale) * scale;
+  return scale;
+}
+
+QuantizedConv2d::QuantizedConv2d(const Conv2d& conv, int bits)
+    : Conv2d(conv), bits_(bits) {
+  quantize_tensor(weight(), bits);
+}
+
+LayerSpec QuantizedConv2d::spec() const {
+  LayerSpec s = Conv2d::spec();
+  s.type = "conv_q8";
+  return s;
+}
+
+std::string QuantizedConv2d::name() const {
+  return "conv_q" + std::to_string(bits_);
+}
+
+std::unique_ptr<Layer> QuantizedConv2d::clone() const {
+  return std::make_unique<QuantizedConv2d>(*this);
+}
+
+QuantizedLinear::QuantizedLinear(const Linear& fc, int bits)
+    : Linear(fc), bits_(bits) {
+  quantize_tensor(weight(), bits);
+}
+
+LayerSpec QuantizedLinear::spec() const {
+  LayerSpec s = Linear::spec();
+  s.type = "fc_q8";
+  return s;
+}
+
+std::unique_ptr<Layer> QuantizedLinear::clone() const {
+  return std::make_unique<QuantizedLinear>(*this);
+}
+
+}  // namespace cadmc::nn

@@ -1,0 +1,45 @@
+// Quantized layer variants (extension — see DESIGN.md). Weights are snapped
+// to a symmetric 8-bit grid per tensor (the post-training scheme of Deep
+// Compression, which the paper cites as [16]); the layers advertise a
+// distinct spec type ("conv_q8"/"fc_q8") so the device latency model can
+// price the integer-arithmetic speedup CPUs get from 8-bit kernels.
+#pragma once
+
+#include "nn/conv.h"
+#include "nn/linear.h"
+
+namespace cadmc::nn {
+
+/// Snaps every weight to the nearest of 2^bits symmetric levels spanning
+/// [-max|w|, +max|w|]. Returns the quantization scale (level width).
+float quantize_tensor(tensor::Tensor& t, int bits);
+
+class QuantizedConv2d : public Conv2d {
+ public:
+  /// Copies `conv` and quantizes its weights to `bits`.
+  QuantizedConv2d(const Conv2d& conv, int bits);
+
+  LayerSpec spec() const override;
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
+
+  int bits() const { return bits_; }
+
+ private:
+  int bits_;
+};
+
+class QuantizedLinear : public Linear {
+ public:
+  QuantizedLinear(const Linear& fc, int bits);
+
+  LayerSpec spec() const override;
+  std::unique_ptr<Layer> clone() const override;
+
+  int bits() const { return bits_; }
+
+ private:
+  int bits_;
+};
+
+}  // namespace cadmc::nn

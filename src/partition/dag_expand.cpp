@@ -1,0 +1,95 @@
+#include "partition/dag_expand.h"
+
+#include <stdexcept>
+
+#include "nn/composite.h"
+
+namespace cadmc::partition {
+
+namespace {
+int add_node(DnnDag& dag, std::string name, double edge_ms, double cloud_ms,
+             std::int64_t output_bytes) {
+  DnnDag::Node node;
+  node.name = std::move(name);
+  node.edge_cost_ms = edge_ms;
+  node.cloud_cost_ms = cloud_ms;
+  node.output_bytes = output_bytes;
+  dag.nodes.push_back(std::move(node));
+  return static_cast<int>(dag.nodes.size()) - 1;
+}
+
+std::int64_t shape_bytes(const nn::Shape& s) {
+  return tensor::shape_numel(s) * 4;
+}
+}  // namespace
+
+DnnDag expand_residual_dag(const nn::Model& model,
+                           const PartitionEvaluator& eval) {
+  DnnDag dag;
+  nn::Shape shape = model.input_shape();
+  int tail = add_node(dag, "input", 0.0, 0.0, shape_bytes(shape));
+
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    const nn::Layer& layer = model.layer(i);
+    const auto* res = dynamic_cast<const nn::ResidualBlock*>(&layer);
+    if (res == nullptr) {
+      const int node = add_node(
+          dag, layer.name(), eval.edge_model().layer_latency_ms(layer, shape),
+          eval.cloud_model().layer_latency_ms(layer, shape),
+          shape_bytes(layer.output_shape(shape)));
+      dag.nodes[static_cast<std::size_t>(tail)].successors.push_back(node);
+      tail = node;
+      shape = layer.output_shape(shape);
+      continue;
+    }
+
+    // Residual unit: expand both branches between `tail` (pre) and `merge`.
+    const nn::Shape out_shape = res->output_shape(shape);
+    const int pre = tail;
+
+    // Main path.
+    nn::Shape cursor = shape;
+    int main_tail = pre;
+    for (const auto& op : res->main_path()) {
+      const int node = add_node(
+          dag, res->name() + ":" + op->name(),
+          eval.edge_model().layer_latency_ms(*op, cursor),
+          eval.cloud_model().layer_latency_ms(*op, cursor),
+          shape_bytes(op->output_shape(cursor)));
+      dag.nodes[static_cast<std::size_t>(main_tail)].successors.push_back(node);
+      main_tail = node;
+      cursor = op->output_shape(cursor);
+    }
+
+    // Skip path: a projection conv or a zero-cost identity carrier.
+    int skip_tail;
+    if (const nn::Conv2d* proj = res->projection()) {
+      skip_tail = add_node(
+          dag, res->name() + ":proj",
+          eval.edge_model().layer_latency_ms(*proj, shape),
+          eval.cloud_model().layer_latency_ms(*proj, shape),
+          shape_bytes(proj->output_shape(shape)));
+    } else {
+      skip_tail = add_node(dag, res->name() + ":skip", 0.0, 0.0,
+                           shape_bytes(shape));
+    }
+    dag.nodes[static_cast<std::size_t>(pre)].successors.push_back(skip_tail);
+
+    // Merge (element-wise add + ReLU): negligible compute, block output.
+    const int merge =
+        add_node(dag, res->name() + ":merge", 0.0, 0.0, shape_bytes(out_shape));
+    dag.nodes[static_cast<std::size_t>(main_tail)].successors.push_back(merge);
+    dag.nodes[static_cast<std::size_t>(skip_tail)].successors.push_back(merge);
+    tail = merge;
+    shape = out_shape;
+  }
+  return dag;
+}
+
+bool has_branches(const DnnDag& dag) {
+  for (const auto& node : dag.nodes)
+    if (node.successors.size() > 1) return true;
+  return false;
+}
+
+}  // namespace cadmc::partition

@@ -1,0 +1,27 @@
+// DAG expansion of residual models. The DNN-surgery baseline exists because
+// DNNs are DAGs, not chains (Hu et al. — the paper's reference [5]); our
+// Model keeps residual units encapsulated as single chain layers, which
+// hides the branch structure from the min-cut. This module expands every
+// ResidualBlock into explicit DAG nodes — main-path operators, the skip /
+// projection edge, and a zero-cost merge node — so surgery_min_cut can place
+// the two branches independently (e.g. skip edge crossing to the cloud
+// earlier than the main path).
+#pragma once
+
+#include "partition/surgery.h"
+
+namespace cadmc::partition {
+
+/// Expands `model` (a chain possibly containing nn::ResidualBlock layers)
+/// into an operator-level DAG. Non-residual layers become single nodes as in
+/// dag_from_model; each ResidualBlock becomes
+///   pre -> [main op 1 -> ... -> main op n] -> merge
+///   pre -> [projection | identity edge]    -> merge
+/// where the merge node costs nothing and outputs the block's feature map.
+DnnDag expand_residual_dag(const nn::Model& model,
+                           const PartitionEvaluator& eval);
+
+/// True if any node has more than one successor (a real DAG, not a chain).
+bool has_branches(const DnnDag& dag);
+
+}  // namespace cadmc::partition

@@ -1,0 +1,41 @@
+#include "partition/partition.h"
+
+#include <stdexcept>
+
+namespace cadmc::partition {
+
+PartitionEvaluator::PartitionEvaluator(latency::ComputeLatencyModel edge,
+                                       latency::ComputeLatencyModel cloud,
+                                       latency::TransferModel transfer)
+    : edge_(std::move(edge)), cloud_(std::move(cloud)), transfer_(transfer) {}
+
+LatencyBreakdown PartitionEvaluator::evaluate(
+    const nn::Model& model, std::size_t cut,
+    double bandwidth_bytes_per_ms) const {
+  if (cut > model.size()) throw std::out_of_range("PartitionEvaluator: bad cut");
+  LatencyBreakdown breakdown;
+  breakdown.edge_ms = edge_.range_latency_ms(model, 0, cut);
+  breakdown.cloud_ms = cloud_.range_latency_ms(model, cut, model.size());
+  if (cut < model.size()) {
+    // The paper ignores the (tiny) result download — Eqn. (3) note.
+    const std::int64_t bytes = model.boundary_bytes()[cut];
+    breakdown.transfer_ms = transfer_.latency_ms(bytes, bandwidth_bytes_per_ms);
+  }
+  return breakdown;
+}
+
+std::size_t PartitionEvaluator::best_cut(const nn::Model& model,
+                                         double bandwidth_bytes_per_ms) const {
+  std::size_t best = 0;
+  double best_ms = evaluate(model, 0, bandwidth_bytes_per_ms).total_ms();
+  for (std::size_t cut = 1; cut <= model.size(); ++cut) {
+    const double ms = evaluate(model, cut, bandwidth_bytes_per_ms).total_ms();
+    if (ms < best_ms) {
+      best_ms = ms;
+      best = cut;
+    }
+  }
+  return best;
+}
+
+}  // namespace cadmc::partition

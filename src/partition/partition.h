@@ -1,0 +1,45 @@
+// DNN partitioning across the edge and the cloud. A partition point `cut`
+// places layers [0, cut) on the edge and [cut, size) on the cloud; the
+// feature tensor at boundary `cut` crosses the network (Eqn. 3:
+// T = Te + Tt + Tc). cut == size runs everything on the edge (no transfer);
+// cut == 0 ships the raw input to the cloud.
+#pragma once
+
+#include "latency/compute_model.h"
+#include "latency/transfer_model.h"
+#include "nn/model.h"
+
+namespace cadmc::partition {
+
+struct LatencyBreakdown {
+  double edge_ms = 0.0;
+  double transfer_ms = 0.0;
+  double cloud_ms = 0.0;
+  double total_ms() const { return edge_ms + transfer_ms + cloud_ms; }
+};
+
+class PartitionEvaluator {
+ public:
+  PartitionEvaluator(latency::ComputeLatencyModel edge,
+                     latency::ComputeLatencyModel cloud,
+                     latency::TransferModel transfer);
+
+  const latency::ComputeLatencyModel& edge_model() const { return edge_; }
+  const latency::ComputeLatencyModel& cloud_model() const { return cloud_; }
+  const latency::TransferModel& transfer_model() const { return transfer_; }
+
+  /// Eqn. (3) latency of running `model` with the given cut and bandwidth.
+  LatencyBreakdown evaluate(const nn::Model& model, std::size_t cut,
+                            double bandwidth_bytes_per_ms) const;
+
+  /// Exhaustive best single cut — optimal for chain models.
+  std::size_t best_cut(const nn::Model& model,
+                       double bandwidth_bytes_per_ms) const;
+
+ private:
+  latency::ComputeLatencyModel edge_;
+  latency::ComputeLatencyModel cloud_;
+  latency::TransferModel transfer_;
+};
+
+}  // namespace cadmc::partition

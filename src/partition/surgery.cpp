@@ -1,0 +1,159 @@
+#include "partition/surgery.h"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace cadmc::partition {
+
+DnnDag dag_from_model(const nn::Model& model, const PartitionEvaluator& eval) {
+  DnnDag dag;
+  const auto bytes = model.boundary_bytes();
+  nn::Shape s = model.input_shape();
+  // Node 0 is a zero-cost input node (its output is the raw input tensor),
+  // so "cut before layer 0" — offloading the raw input — is representable.
+  DnnDag::Node input;
+  input.name = "input";
+  input.output_bytes = bytes[0];
+  if (!model.empty()) input.successors = {1};
+  dag.nodes.push_back(input);
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    DnnDag::Node node;
+    node.name = model.layer(i).name();
+    node.edge_cost_ms = eval.edge_model().layer_latency_ms(model.layer(i), s);
+    node.cloud_cost_ms = eval.cloud_model().layer_latency_ms(model.layer(i), s);
+    node.output_bytes = bytes[i + 1];
+    if (i + 1 < model.size())
+      node.successors = {static_cast<int>(i) + 2};
+    s = model.layer(i).output_shape(s);
+    dag.nodes.push_back(node);
+  }
+  return dag;
+}
+
+SurgeryResult surgery_min_cut(const DnnDag& dag,
+                              const latency::TransferModel& transfer,
+                              double bandwidth_bytes_per_ms) {
+  const int n = static_cast<int>(dag.nodes.size());
+  // Graph nodes: 0 = source (edge), 1..n = operators, n+1 = sink (cloud).
+  MaxFlow flow(n + 2);
+  const int source = 0, sink = n + 1;
+  const double inf = 1e15;  // effectively infinite, kept finite for the flow arithmetic
+  for (int i = 0; i < n; ++i) {
+    const auto& node = dag.nodes[static_cast<std::size_t>(i)];
+    // Input node must stay on the edge (cutting s->input is infinitely bad).
+    flow.add_edge(source, i + 1, i == 0 ? inf : node.cloud_cost_ms);
+    flow.add_edge(i + 1, sink, node.edge_cost_ms);
+    for (int succ : node.successors) {
+      const double t =
+          transfer.latency_ms(node.output_bytes, bandwidth_bytes_per_ms);
+      flow.add_edge(i + 1, succ + 1, t);
+      // Reverse dependency with infinite capacity forbids placements where a
+      // cloud node feeds an edge node (we never download features back).
+      flow.add_edge(succ + 1, i + 1, inf);
+    }
+  }
+  SurgeryResult result;
+  result.total_latency_ms = flow.solve(source, sink);
+  const std::vector<bool> side = flow.min_cut_side(source);
+  result.on_edge.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    result.on_edge[static_cast<std::size_t>(i)] = side[static_cast<std::size_t>(i + 1)];
+  return result;
+}
+
+std::size_t surgery_cut_for_chain(const nn::Model& model,
+                                  const PartitionEvaluator& eval,
+                                  double bandwidth_bytes_per_ms) {
+  const DnnDag dag = dag_from_model(model, eval);
+  const SurgeryResult result =
+      surgery_min_cut(dag, eval.transfer_model(), bandwidth_bytes_per_ms);
+  // Node 0 is the input pseudo-node; layer i is node i+1. The cut is the
+  // first layer on the cloud.
+  for (std::size_t i = 0; i < model.size(); ++i)
+    if (!result.on_edge[i + 1]) return i;
+  return model.size();
+}
+
+MaxFlow::MaxFlow(int node_count)
+    : graph_(static_cast<std::size_t>(node_count)) {
+  if (node_count <= 1) throw std::invalid_argument("MaxFlow: too few nodes");
+}
+
+void MaxFlow::add_edge(int from, int to, double capacity) {
+  if (capacity < 0.0) throw std::invalid_argument("MaxFlow: negative capacity");
+  Edge fwd{to, capacity, static_cast<int>(graph_[static_cast<std::size_t>(to)].size())};
+  Edge rev{from, 0.0, static_cast<int>(graph_[static_cast<std::size_t>(from)].size())};
+  graph_[static_cast<std::size_t>(from)].push_back(fwd);
+  graph_[static_cast<std::size_t>(to)].push_back(rev);
+}
+
+bool MaxFlow::bfs(int source, int sink) {
+  level_.assign(graph_.size(), -1);
+  std::queue<int> queue;
+  level_[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop();
+    for (const Edge& e : graph_[static_cast<std::size_t>(v)]) {
+      if (e.cap > 1e-12 && level_[static_cast<std::size_t>(e.to)] < 0) {
+        level_[static_cast<std::size_t>(e.to)] = level_[static_cast<std::size_t>(v)] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+double MaxFlow::dfs(int v, int sink, double pushed) {
+  if (v == sink) return pushed;
+  for (int& i = iter_[static_cast<std::size_t>(v)];
+       i < static_cast<int>(graph_[static_cast<std::size_t>(v)].size()); ++i) {
+    Edge& e = graph_[static_cast<std::size_t>(v)][static_cast<std::size_t>(i)];
+    if (e.cap <= 1e-12 ||
+        level_[static_cast<std::size_t>(e.to)] != level_[static_cast<std::size_t>(v)] + 1)
+      continue;
+    const double flow = dfs(e.to, sink, std::min(pushed, e.cap));
+    if (flow > 1e-12) {
+      e.cap -= flow;
+      graph_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)].cap += flow;
+      return flow;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::solve(int source, int sink) {
+  double total = 0.0;
+  const double inf = 1e15;  // effectively infinite, kept finite for the flow arithmetic
+  while (bfs(source, sink)) {
+    iter_.assign(graph_.size(), 0);
+    while (true) {
+      const double flow = dfs(source, sink, inf);
+      if (flow <= 1e-12) break;
+      total += flow;
+    }
+  }
+  return total;
+}
+
+std::vector<bool> MaxFlow::min_cut_side(int source) const {
+  std::vector<bool> reachable(graph_.size(), false);
+  std::queue<int> queue;
+  reachable[static_cast<std::size_t>(source)] = true;
+  queue.push(source);
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop();
+    for (const Edge& e : graph_[static_cast<std::size_t>(v)]) {
+      if (e.cap > 1e-12 && !reachable[static_cast<std::size_t>(e.to)]) {
+        reachable[static_cast<std::size_t>(e.to)] = true;
+        queue.push(e.to);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace cadmc::partition

@@ -1,0 +1,72 @@
+// Dynamic DNN Surgery baseline (Hu et al., INFOCOM'19): the optimal
+// edge/cloud partition of a DAG-shaped DNN under a constant network state is
+// found as a minimum s-t cut. Construction: source s = edge, sink t = cloud;
+// for every operator v, capacity(s -> v) = cloud compute cost of v and
+// capacity(v -> t) = edge compute cost of v; for every data edge u -> v,
+// capacity(u -> v) = transfer cost of u's output. Any finite s-t cut then
+// prices a placement (nodes on the s side run on the edge), and the min cut
+// is the latency-optimal placement. We solve max-flow with Dinic's algorithm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/partition.h"
+
+namespace cadmc::partition {
+
+/// A DAG of DNN operators with per-node costs.
+struct DnnDag {
+  struct Node {
+    std::string name;
+    double edge_cost_ms = 0.0;
+    double cloud_cost_ms = 0.0;
+    std::int64_t output_bytes = 0;       // feature size produced by this node
+    std::vector<int> successors;         // data-dependency edges
+  };
+  std::vector<Node> nodes;  // topologically ordered
+};
+
+/// Flattens a chain model into a DnnDag using the evaluator's cost models.
+DnnDag dag_from_model(const nn::Model& model, const PartitionEvaluator& eval);
+
+struct SurgeryResult {
+  std::vector<bool> on_edge;  // per node: true = runs on the edge
+  double total_latency_ms = 0.0;
+};
+
+/// Minimum-cut placement of `dag` at the given bandwidth.
+SurgeryResult surgery_min_cut(const DnnDag& dag,
+                              const latency::TransferModel& transfer,
+                              double bandwidth_bytes_per_ms);
+
+/// Convenience: runs surgery on a chain model and converts the placement to
+/// a single cut index (the first layer placed on the cloud).
+std::size_t surgery_cut_for_chain(const nn::Model& model,
+                                  const PartitionEvaluator& eval,
+                                  double bandwidth_bytes_per_ms);
+
+/// Dinic max-flow solver over a small directed graph, exposed for testing.
+class MaxFlow {
+ public:
+  explicit MaxFlow(int node_count);
+  void add_edge(int from, int to, double capacity);
+  double solve(int source, int sink);
+  /// After solve(): nodes reachable from `source` in the residual graph.
+  std::vector<bool> min_cut_side(int source) const;
+
+ private:
+  struct Edge {
+    int to;
+    double cap;
+    int rev;  // index of the reverse edge in graph_[to]
+  };
+  bool bfs(int source, int sink);
+  double dfs(int v, int sink, double pushed);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<int> level_, iter_;
+};
+
+}  // namespace cadmc::partition

@@ -1,0 +1,70 @@
+#include "rl/baseline_search.h"
+
+#include <stdexcept>
+
+namespace cadmc::rl {
+
+std::vector<int> StrategySpace::random_genome(util::Rng& rng) const {
+  std::vector<int> genome;
+  genome.reserve(cardinalities.size());
+  for (int card : cardinalities) {
+    if (card <= 0) throw std::logic_error("StrategySpace: bad cardinality");
+    genome.push_back(static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(card))));
+  }
+  return genome;
+}
+
+std::vector<int> StrategySpace::mutate(const std::vector<int>& genome,
+                                       util::Rng& rng) const {
+  if (genome.size() != cardinalities.size())
+    throw std::invalid_argument("StrategySpace::mutate: genome size mismatch");
+  std::vector<int> out = genome;
+  const std::size_t gene = rng.uniform_index(genome.size());
+  out[gene] = static_cast<int>(
+      rng.uniform_index(static_cast<std::uint64_t>(cardinalities[gene])));
+  return out;
+}
+
+SearchOutcome random_search(const StrategySpace& space,
+                            const GenomeEvaluator& evaluate, int episodes,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  SearchOutcome outcome;
+  for (int e = 0; e < episodes; ++e) {
+    const std::vector<int> genome = space.random_genome(rng);
+    const double reward = evaluate(genome);
+    outcome.log.record(reward);
+    if (e == 0 || reward > outcome.best_reward) {
+      outcome.best_reward = reward;
+      outcome.best_genome = genome;
+    }
+  }
+  return outcome;
+}
+
+SearchOutcome epsilon_greedy_search(const StrategySpace& space,
+                                    const GenomeEvaluator& evaluate,
+                                    int episodes, double epsilon_start,
+                                    double epsilon_end, std::uint64_t seed) {
+  util::Rng rng(seed);
+  SearchOutcome outcome;
+  for (int e = 0; e < episodes; ++e) {
+    const double frac = episodes > 1 ? static_cast<double>(e) / (episodes - 1) : 0.0;
+    const double epsilon = epsilon_start + (epsilon_end - epsilon_start) * frac;
+    std::vector<int> genome;
+    if (outcome.best_genome.empty() || rng.bernoulli(epsilon)) {
+      genome = space.random_genome(rng);
+    } else {
+      genome = space.mutate(outcome.best_genome, rng);
+    }
+    const double reward = evaluate(genome);
+    outcome.log.record(reward);
+    if (e == 0 || reward > outcome.best_reward) {
+      outcome.best_reward = reward;
+      outcome.best_genome = genome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace cadmc::rl

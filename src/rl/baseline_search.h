@@ -1,0 +1,45 @@
+// Search-method baselines for Fig. 7: random search and epsilon-greedy
+// search over a generic discrete strategy space (a genome of categorical
+// genes). The RL decision engine is compared against these because an
+// exhaustive search over the joint partition x compression space is
+// unaffordable (Sec. VII).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rl/reinforce.h"
+#include "util/rng.h"
+
+namespace cadmc::rl {
+
+/// A strategy genome: gene i takes values in [0, cardinality[i]).
+struct StrategySpace {
+  std::vector<int> cardinalities;
+
+  std::vector<int> random_genome(util::Rng& rng) const;
+  /// Re-draws exactly one gene (used by epsilon-greedy exploitation).
+  std::vector<int> mutate(const std::vector<int>& genome, util::Rng& rng) const;
+};
+
+using GenomeEvaluator = std::function<double(const std::vector<int>&)>;
+
+struct SearchOutcome {
+  std::vector<int> best_genome;
+  double best_reward = 0.0;
+  EpisodeLog log;
+};
+
+/// Uniform random sampling of the space, `episodes` evaluations.
+SearchOutcome random_search(const StrategySpace& space,
+                            const GenomeEvaluator& evaluate, int episodes,
+                            std::uint64_t seed);
+
+/// Epsilon-greedy: with probability epsilon sample uniformly, otherwise
+/// mutate the incumbent best genome by one gene. Epsilon decays linearly.
+SearchOutcome epsilon_greedy_search(const StrategySpace& space,
+                                    const GenomeEvaluator& evaluate,
+                                    int episodes, double epsilon_start,
+                                    double epsilon_end, std::uint64_t seed);
+
+}  // namespace cadmc::rl

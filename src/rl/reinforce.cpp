@@ -1,0 +1,16 @@
+#include "rl/reinforce.h"
+
+namespace cadmc::rl {
+
+std::vector<double> EpisodeLog::best_so_far() const {
+  std::vector<double> out;
+  out.reserve(rewards_.size());
+  double best = 0.0;
+  for (std::size_t i = 0; i < rewards_.size(); ++i) {
+    best = i == 0 ? rewards_[i] : std::max(best, rewards_[i]);
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace cadmc::rl

@@ -1,0 +1,50 @@
+// Monte-Carlo policy gradient scaffolding (Sec. VI-D). The controllers own
+// their parameters and gradient accumulation; this module provides the
+// exponential-moving-average reward baseline b of Eqn. (10) and an episode
+// recorder for diagnostics (reward curves in Fig. 7).
+#pragma once
+
+#include <vector>
+
+#include "util/stats.h"
+
+namespace cadmc::rl {
+
+/// REINFORCE baseline: b = EMA of previous episode returns. advantage()
+/// subtracts the baseline *before* folding the new return in, so the
+/// estimate stays unbiased.
+class RewardBaseline {
+ public:
+  explicit RewardBaseline(double alpha = 0.2) : ema_(alpha) {}
+
+  double advantage(double episode_return) {
+    const double b = ema_.initialized() ? ema_.value() : episode_return;
+    ema_.update(episode_return);
+    return episode_return - b;
+  }
+
+  double value() const { return ema_.initialized() ? ema_.value() : 0.0; }
+
+ private:
+  util::Ema ema_;
+};
+
+/// Tracks the per-episode reward curve and the best reward so far.
+class EpisodeLog {
+ public:
+  void record(double reward) {
+    rewards_.push_back(reward);
+    if (rewards_.size() == 1 || reward > best_) best_ = reward;
+  }
+  const std::vector<double>& rewards() const { return rewards_; }
+  double best() const { return best_; }
+  /// Running best at each episode (monotone curve for Fig. 7).
+  std::vector<double> best_so_far() const;
+  std::size_t episodes() const { return rewards_.size(); }
+
+ private:
+  std::vector<double> rewards_;
+  double best_ = 0.0;
+};
+
+}  // namespace cadmc::rl

@@ -1,0 +1,101 @@
+#include "runtime/decision_engine.h"
+
+#include <stdexcept>
+
+#include "latency/device_profile.h"
+#include "nn/factory.h"
+
+namespace cadmc::runtime {
+
+DecisionEngine::DecisionEngine(nn::Model base, EngineConfig config)
+    : base_(std::move(base)), config_(std::move(config)) {
+  if (config_.num_forks < 1)
+    throw std::invalid_argument("DecisionEngine: num_forks < 1");
+  trace_ = net::generate_trace(config_.scene.trace, config_.trace_duration_ms,
+                               config_.trace_seed);
+  boundaries_ = nn::block_boundaries(base_, config_.num_blocks);
+
+  // K bandwidth types from the trace quantiles; K = 2 uses the lower and
+  // upper quartiles for 'poor' and 'good' (Sec. VII setup).
+  if (config_.num_forks == 2) {
+    fork_bandwidths_ = {trace_.quantile(0.25), trace_.quantile(0.75)};
+  } else {
+    for (int k = 0; k < config_.num_forks; ++k)
+      fork_bandwidths_.push_back(
+          trace_.quantile((k + 0.5) / config_.num_forks));
+  }
+  for (std::size_t i = 1; i < fork_bandwidths_.size(); ++i)
+    if (fork_bandwidths_[i] <= fork_bandwidths_[i - 1])
+      fork_bandwidths_[i] = fork_bandwidths_[i - 1] * 1.01;
+
+  latency::TransferModel transfer;
+  transfer.rtt_ms = config_.scene.rtt_ms;
+  partition::PartitionEvaluator pe(
+      latency::ComputeLatencyModel(
+          latency::profile_by_name(config_.edge_device)),
+      latency::ComputeLatencyModel(latency::cloud_profile()), transfer);
+  evaluator_ = std::make_unique<engine::StrategyEvaluator>(
+      base_, std::move(pe),
+      engine::AccuracyModel(config_.base_accuracy, base_.size(),
+                            config_.trace_seed ^ 0xACC),
+      config_.reward_config);
+}
+
+void DecisionEngine::train_offline() {
+  // Seed both searches with the DNN-surgery solution (it lies inside the
+  // strategy space), so the engine never ships anything worse than the
+  // fixed-partition baseline.
+  engine::Strategy surgery;
+  surgery.plan.assign(base_.size(), compress::TechniqueId::kNone);
+  surgery.cut = partition::surgery_cut_for_chain(
+      base_, evaluator_->partition_eval(), trace_.quantile(0.5));
+  tree::TreeSearchConfig tree_config = config_.tree_config;
+  tree_config.branch_config.seed_strategies.push_back(surgery);
+  tree_config.extra_boost_strategies.push_back(surgery);
+
+  tree::TreeSearch search(*evaluator_, boundaries_, fork_bandwidths_,
+                          tree_config);
+  search_result_ = search.run();
+}
+
+const tree::ModelTree& DecisionEngine::tree() const {
+  return search_result().tree;
+}
+
+const tree::TreeSearchResult& DecisionEngine::search_result() const {
+  if (!search_result_)
+    throw std::logic_error("DecisionEngine: train_offline() not run");
+  return *search_result_;
+}
+
+DecisionEngine::InferenceOutcome DecisionEngine::infer(
+    const tensor::Tensor& input, double t_ms) {
+  const tree::ModelTree& model_tree = tree();
+  net::BandwidthEstimator estimator(trace_, /*staleness_ms=*/200.0,
+                                    /*alpha=*/0.6);
+  // Alg. 2: one bandwidth measurement before each block. Inference time
+  // advances as blocks execute, so later measurements see later link state.
+  double t_cursor = t_ms;
+  InferenceOutcome outcome;
+  const auto composition = model_tree.compose_online([&](std::size_t block) {
+    const double bw = estimator.estimate_at(t_cursor);
+    t_cursor += 5.0 + 10.0 * static_cast<double>(block);  // measurement cadence
+    return bw;
+  });
+  outcome.strategy = composition.strategy;
+  outcome.forks = composition.forks;
+
+  engine::RealizedStrategy realized = engine::realize_strategy(
+      base_, outcome.strategy, faithful_registry_, realize_rng_);
+  outcome.logits = realized.model.forward(input, false);
+
+  const auto eval = evaluator_->evaluate(outcome.strategy, trace_.at(t_ms));
+  outcome.latency_ms = eval.latency_ms;
+  return outcome;
+}
+
+InferenceRunner DecisionEngine::make_runner(RunnerConfig runner_config) const {
+  return InferenceRunner(*evaluator_, trace_, boundaries_, runner_config);
+}
+
+}  // namespace cadmc::runtime

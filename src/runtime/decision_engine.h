@@ -1,0 +1,82 @@
+// DecisionEngine — the library's top-level facade (Fig. 2). Offline, it
+// generates the scene's bandwidth trace, derives the K bandwidth types from
+// its quartiles, trains the RL controllers and produces the context-aware
+// model tree. Online, it composes a DNN from the tree per Alg. 2 at each
+// inference, optionally running the composed model on real tensors.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "net/scenes.h"
+#include "runtime/emulator.h"
+#include "tree/tree_search.h"
+
+namespace cadmc::runtime {
+
+struct EngineConfig {
+  std::string edge_device = "phone";       // "phone" or "tx2"
+  net::Scene scene;                        // network context to train for
+  double base_accuracy = 0.9201;           // accuracy of the base DNN
+  std::size_t num_blocks = 3;              // N
+  int num_forks = 2;                       // K
+  double trace_duration_ms = 60'000.0;
+  std::uint64_t trace_seed = 0x7A2CE;
+  tree::TreeSearchConfig tree_config;
+  engine::RewardConfig reward_config;
+};
+
+class DecisionEngine {
+ public:
+  /// Takes ownership of the base model.
+  DecisionEngine(nn::Model base, EngineConfig config);
+
+  // Internal components point at the owned base model, so the engine is
+  // pinned in place.
+  DecisionEngine(const DecisionEngine&) = delete;
+  DecisionEngine& operator=(const DecisionEngine&) = delete;
+  DecisionEngine(DecisionEngine&&) = delete;
+  DecisionEngine& operator=(DecisionEngine&&) = delete;
+
+  /// Offline phase (Fig. 2, top): trains controllers and builds the tree.
+  /// Must be called before tree()/infer().
+  void train_offline();
+  bool trained() const { return search_result_.has_value(); }
+
+  const nn::Model& base() const { return base_; }
+  const engine::StrategyEvaluator& evaluator() const { return *evaluator_; }
+  const net::BandwidthTrace& trace() const { return trace_; }
+  const std::vector<std::size_t>& boundaries() const { return boundaries_; }
+  const std::vector<double>& fork_bandwidths() const { return fork_bandwidths_; }
+  const tree::ModelTree& tree() const;
+  const tree::TreeSearchResult& search_result() const;
+
+  /// Online phase: composes a strategy from the tree per Alg. 2 using the
+  /// estimator's bandwidth readings starting at `t_ms`, realizes it with
+  /// faithful weights, runs the forward pass, and reports the modelled
+  /// latency on the configured devices.
+  struct InferenceOutcome {
+    tensor::Tensor logits;
+    engine::Strategy strategy;
+    std::vector<int> forks;
+    double latency_ms = 0.0;
+  };
+  InferenceOutcome infer(const tensor::Tensor& input, double t_ms);
+
+  /// An InferenceRunner over this engine's context (for emulation/field
+  /// sweeps with this configuration).
+  InferenceRunner make_runner(RunnerConfig runner_config) const;
+
+ private:
+  nn::Model base_;
+  EngineConfig config_;
+  net::BandwidthTrace trace_;
+  std::vector<std::size_t> boundaries_;
+  std::vector<double> fork_bandwidths_;
+  std::unique_ptr<engine::StrategyEvaluator> evaluator_;
+  std::optional<tree::TreeSearchResult> search_result_;
+  compress::TechniqueRegistry faithful_registry_;
+  util::Rng realize_rng_{0xFA17};
+};
+
+}  // namespace cadmc::runtime

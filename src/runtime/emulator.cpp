@@ -1,0 +1,176 @@
+#include "runtime/emulator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "runtime/shaper.h"
+
+namespace cadmc::runtime {
+
+using engine::Strategy;
+
+InferenceRunner::InferenceRunner(const engine::StrategyEvaluator& evaluator,
+                                 net::BandwidthTrace trace,
+                                 std::vector<std::size_t> boundaries,
+                                 RunnerConfig config)
+    : evaluator_(&evaluator),
+      trace_(std::move(trace)),
+      boundaries_(std::move(boundaries)),
+      config_(config) {
+  if (config_.inferences <= 0)
+    throw std::invalid_argument("InferenceRunner: inferences <= 0");
+}
+
+double InferenceRunner::start_time(int inference_index) const {
+  // Spread inferences across the middle 80% of the trace.
+  const double usable = trace_.duration_ms() * 0.8;
+  const double offset = trace_.duration_ms() * 0.1;
+  return offset + usable * inference_index / config_.inferences;
+}
+
+double InferenceRunner::block_compute_ms(Timeline& tl, const Strategy& strategy,
+                                         std::size_t begin,
+                                         std::size_t end) const {
+  double ms = evaluator_->edge_slice_latency_ms(strategy, begin, end);
+  if (config_.mode == TimingMode::kField) {
+    // Device-side variance: the latency model is only an estimate of the
+    // real hardware (Sec. VII-B3).
+    ms *= std::exp(tl.rng.normal(0.0, config_.field_compute_noise));
+  }
+  return ms;
+}
+
+double InferenceRunner::transfer_ms(Timeline& tl, std::int64_t bytes) const {
+  const auto& tm = evaluator_->partition_eval().transfer_model();
+  if (config_.mode == TimingMode::kEstimated) {
+    // Emulation: transfer priced at the true instantaneous bandwidth when
+    // the offload starts.
+    return tm.latency_ms(bytes, trace_.at(tl.t_ms));
+  }
+  // Field: the payload drains through every fluctuation the link has while
+  // it is in flight.
+  return shaped_transfer_ms(trace_, tl.t_ms, bytes, tm.rtt_ms, tm.size_coeff);
+}
+
+double InferenceRunner::execute(Timeline& tl, const Strategy& strategy) const {
+  const nn::Model& base = evaluator_->base();
+  std::vector<std::size_t> edges{0};
+  for (std::size_t b : boundaries_) edges.push_back(b);
+  edges.push_back(base.size());
+
+  const double t_start = tl.t_ms;
+  for (std::size_t j = 0; j + 1 < edges.size(); ++j) {
+    const std::size_t begin = edges[j], end = edges[j + 1];
+    if (begin >= strategy.cut) break;
+    tl.t_ms += block_compute_ms(tl, strategy, begin, std::min(end, strategy.cut));
+    if (strategy.cut <= end) break;
+  }
+  if (strategy.cut < base.size()) {
+    tl.t_ms += transfer_ms(tl, base.boundary_bytes()[strategy.cut]);
+    tl.t_ms += evaluator_->cloud_suffix_latency_ms(strategy.cut);
+  }
+  return tl.t_ms - t_start;
+}
+
+RunStats InferenceRunner::summarize(const std::vector<Strategy>& strategies,
+                                    const std::vector<double>& latencies) const {
+  RunStats stats;
+  stats.inferences = static_cast<int>(latencies.size());
+  for (std::size_t i = 0; i < latencies.size(); ++i) {
+    const double acc = evaluator_->accuracy_model().estimate(strategies[i].plan);
+    stats.mean_latency_ms += latencies[i];
+    stats.mean_accuracy += acc;
+    stats.mean_reward += evaluator_->reward_config().reward(acc, latencies[i]);
+  }
+  if (stats.inferences > 0) {
+    stats.mean_latency_ms /= stats.inferences;
+    stats.mean_accuracy /= stats.inferences;
+    stats.mean_reward /= stats.inferences;
+  }
+  return stats;
+}
+
+RunStats InferenceRunner::run_surgery() const {
+  const nn::Model& base = evaluator_->base();
+  std::vector<Strategy> strategies;
+  std::vector<double> latencies;
+  for (int i = 0; i < config_.inferences; ++i) {
+    const double staleness =
+        config_.estimator_staleness_ms +
+        (config_.mode == TimingMode::kField ? config_.field_staleness_extra_ms : 0.0);
+    Timeline tl{start_time(i),
+                net::BandwidthEstimator(trace_, staleness, config_.estimator_alpha),
+                util::Rng(config_.seed ^ (0x5u + static_cast<unsigned>(i)))};
+    const double bw_est = tl.estimator.estimate_at(tl.t_ms);
+    Strategy s;
+    s.plan.assign(base.size(), compress::TechniqueId::kNone);
+    s.cut = partition::surgery_cut_for_chain(base, evaluator_->partition_eval(),
+                                             bw_est);
+    latencies.push_back(execute(tl, s));
+    strategies.push_back(std::move(s));
+  }
+  return summarize(strategies, latencies);
+}
+
+RunStats InferenceRunner::run_branch(const Strategy& strategy) const {
+  std::vector<Strategy> strategies;
+  std::vector<double> latencies;
+  for (int i = 0; i < config_.inferences; ++i) {
+    Timeline tl{start_time(i),
+                net::BandwidthEstimator(trace_, config_.estimator_staleness_ms,
+                                        config_.estimator_alpha),
+                util::Rng(config_.seed ^ (0xB00u + static_cast<unsigned>(i)))};
+    latencies.push_back(execute(tl, strategy));
+    strategies.push_back(strategy);
+  }
+  return summarize(strategies, latencies);
+}
+
+RunStats InferenceRunner::run_tree(const tree::ModelTree& tree) const {
+  std::vector<Strategy> strategies;
+  std::vector<double> latencies;
+  for (int i = 0; i < config_.inferences; ++i) {
+    const double staleness =
+        config_.estimator_staleness_ms +
+        (config_.mode == TimingMode::kField ? config_.field_staleness_extra_ms : 0.0);
+    Timeline tl{start_time(i),
+                net::BandwidthEstimator(trace_, staleness, config_.estimator_alpha),
+                util::Rng(config_.seed ^ (0x7EEu + static_cast<unsigned>(i)))};
+    // Alg. 2: walk the tree, measuring (an estimate of) the bandwidth before
+    // each block at the *current* simulated time, paying for each block as
+    // it executes.
+    const nn::Model& base = evaluator_->base();
+    Strategy s;
+    s.plan.assign(base.size(), compress::TechniqueId::kNone);
+    s.cut = base.size();
+    const tree::TreeNode* node = &tree.root();
+    const double t_start = tl.t_ms;
+    for (std::size_t level = 0; level < tree.num_blocks(); ++level) {
+      const double bw_est = tl.estimator.estimate_at(tl.t_ms);
+      const int fork = tree.classify(bw_est);
+      const tree::TreeNode* next = nullptr;
+      for (const tree::TreeNode& c : node->children)
+        if (c.fork == fork) next = &c;
+      if (next == nullptr) break;
+      node = next;
+      const std::size_t begin = tree.block_begin(level);
+      for (std::size_t x = 0; x < node->block_plan.size(); ++x)
+        s.plan[begin + x] = node->block_plan[x];
+      const std::size_t edge_end = begin + node->cut_local;
+      tl.t_ms += block_compute_ms(tl, s, begin, edge_end);
+      if (node->partitions(tree.block_len(level))) {
+        s.cut = edge_end;
+        break;
+      }
+    }
+    if (s.cut < base.size()) {
+      tl.t_ms += transfer_ms(tl, base.boundary_bytes()[s.cut]);
+      tl.t_ms += evaluator_->cloud_suffix_latency_ms(s.cut);
+    }
+    latencies.push_back(tl.t_ms - t_start);
+    strategies.push_back(std::move(s));
+  }
+  return summarize(strategies, latencies);
+}
+
+}  // namespace cadmc::runtime

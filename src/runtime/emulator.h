@@ -1,0 +1,85 @@
+// Emulation and field-test harness (Tables IV and V). An InferenceRunner
+// replays DNN inferences along a bandwidth trace under one of three
+// policies — Dynamic DNN Surgery, the optimal-branch model, or the
+// context-aware model tree — and in one of two timing modes:
+//  * kEstimated (Table IV): decisions use the runtime bandwidth estimate and
+//    outcomes are priced by the latency models at the true trace value at
+//    the moment of transfer ("real-world traces + estimated latencies");
+//  * kField (Table V): outcomes additionally pay for reality — per-block
+//    device-compute noise and a transfer that integrates the true trace
+//    across the whole transmission (shaped_transfer_ms), so mid-transfer
+//    fades land on the bill. The decision inputs stay estimated/stale —
+//    this gap is exactly the paper's emulation-vs-field gap.
+#pragma once
+
+#include "engine/strategy.h"
+#include "net/estimator.h"
+#include "net/scenes.h"
+#include "partition/surgery.h"
+#include "tree/model_tree.h"
+
+namespace cadmc::runtime {
+
+enum class TimingMode { kEstimated, kField };
+
+struct RunStats {
+  double mean_latency_ms = 0.0;
+  double mean_accuracy = 0.0;
+  double mean_reward = 0.0;
+  int inferences = 0;
+};
+
+struct RunnerConfig {
+  TimingMode mode = TimingMode::kEstimated;
+  int inferences = 40;              // runs spread along the trace
+  double estimator_staleness_ms = 200.0;
+  double estimator_alpha = 0.6;
+  double field_compute_noise = 0.10;   // lognormal sigma on block compute (field)
+  double field_staleness_extra_ms = 300.0;  // extra estimate staleness (field)
+  std::uint64_t seed = 0xF1E1D;
+};
+
+class InferenceRunner {
+ public:
+  /// `evaluator` supplies the latency/accuracy/reward models; `trace` is the
+  /// scene's bandwidth time series; `boundaries` the block boundaries.
+  InferenceRunner(const engine::StrategyEvaluator& evaluator,
+                  net::BandwidthTrace trace,
+                  std::vector<std::size_t> boundaries, RunnerConfig config);
+
+  /// Dynamic DNN Surgery: one min-cut decision per inference from the
+  /// estimate at its start; no compression.
+  RunStats run_surgery() const;
+
+  /// Fixed optimal-branch strategy, executed as-is.
+  RunStats run_branch(const engine::Strategy& strategy) const;
+
+  /// Context-aware model tree: fork chosen per block from the running
+  /// estimate (Alg. 2).
+  RunStats run_tree(const tree::ModelTree& tree) const;
+
+  const net::BandwidthTrace& trace() const { return trace_; }
+
+ private:
+  struct Timeline {
+    double t_ms;
+    net::BandwidthEstimator estimator;
+    util::Rng rng;
+  };
+  /// Executes `strategy` starting at `tl.t_ms`, walking blocks and paying
+  /// compute/transfer per the timing mode. Returns total latency.
+  double execute(Timeline& tl, const engine::Strategy& strategy) const;
+  double block_compute_ms(Timeline& tl, const engine::Strategy& strategy,
+                          std::size_t begin, std::size_t end) const;
+  double transfer_ms(Timeline& tl, std::int64_t bytes) const;
+  RunStats summarize(const std::vector<engine::Strategy>& strategies,
+                     const std::vector<double>& latencies) const;
+  double start_time(int inference_index) const;
+
+  const engine::StrategyEvaluator* evaluator_;
+  net::BandwidthTrace trace_;
+  std::vector<std::size_t> boundaries_;
+  RunnerConfig config_;
+};
+
+}  // namespace cadmc::runtime

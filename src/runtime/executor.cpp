@@ -1,0 +1,49 @@
+#include "runtime/executor.h"
+
+#include "tensor/serialize.h"
+
+namespace cadmc::runtime {
+
+ExecutionResult execute_range(nn::Model& model, const tensor::Tensor& input,
+                              std::size_t begin, std::size_t end,
+                              const latency::ComputeLatencyModel& device) {
+  ExecutionResult result;
+  result.device_ms = device.range_latency_ms(model, begin, end);
+  result.output = model.forward_range(input, begin, end, /*training=*/false);
+  return result;
+}
+
+CloudExecutor::CloudExecutor(nn::Model cloud_half,
+                             latency::ComputeLatencyModel device)
+    : model_(std::move(cloud_half)),
+      device_(std::move(device)),
+      server_([this](const Blob& request) { return handle(request); }) {}
+
+CloudExecutor::~CloudExecutor() { stop(); }
+
+std::uint16_t CloudExecutor::start() { return server_.start(); }
+void CloudExecutor::stop() { server_.stop(); }
+
+Blob CloudExecutor::handle(const Blob& request) {
+  std::size_t offset = 0;
+  const tensor::Tensor features = tensor::decode_tensor(request, offset);
+  const ExecutionResult result =
+      execute_range(model_, features, 0, model_.size(), device_);
+  Blob response = tensor::encode_tensor(result.output);
+  tensor::Tensor ms({1});
+  ms(0) = static_cast<float>(result.device_ms);
+  tensor::encode_tensor(ms, response);
+  return response;
+}
+
+RemoteResult call_cloud(TcpClient& client, const tensor::Tensor& features) {
+  const Blob response = client.call(tensor::encode_tensor(features));
+  std::size_t offset = 0;
+  RemoteResult result;
+  result.logits = tensor::decode_tensor(response, offset);
+  const tensor::Tensor ms = tensor::decode_tensor(response, offset);
+  result.cloud_ms = ms(0);
+  return result;
+}
+
+}  // namespace cadmc::runtime

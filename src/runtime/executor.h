@@ -1,0 +1,49 @@
+// Block execution: runs real tensors through model layer ranges while
+// reporting latency from the device's analytic model (the host CPU is not
+// the phone/TX2/cloud being modelled). The cloud executor wraps a TcpServer
+// so features can cross a real socket in the field demo.
+#pragma once
+
+#include "latency/compute_model.h"
+#include "nn/model.h"
+#include "runtime/transport.h"
+
+namespace cadmc::runtime {
+
+struct ExecutionResult {
+  tensor::Tensor output;
+  double device_ms = 0.0;  // modelled latency on the profiled device
+};
+
+/// Runs layers [begin, end) of `model` on `input`.
+ExecutionResult execute_range(nn::Model& model, const tensor::Tensor& input,
+                              std::size_t begin, std::size_t end,
+                              const latency::ComputeLatencyModel& device);
+
+/// Cloud-side executor: owns the cloud half of a model behind a TcpServer.
+/// Protocol: request = encoded feature tensor, response = encoded logits
+/// followed by an encoded 1-element tensor holding the modelled cloud ms.
+class CloudExecutor {
+ public:
+  CloudExecutor(nn::Model cloud_half, latency::ComputeLatencyModel device);
+  ~CloudExecutor();
+
+  std::uint16_t start();
+  void stop();
+
+ private:
+  Blob handle(const Blob& request);
+
+  nn::Model model_;
+  latency::ComputeLatencyModel device_;
+  TcpServer server_;
+};
+
+/// Edge-side remote call: sends features, returns logits + modelled cloud ms.
+struct RemoteResult {
+  tensor::Tensor logits;
+  double cloud_ms = 0.0;
+};
+RemoteResult call_cloud(TcpClient& client, const tensor::Tensor& features);
+
+}  // namespace cadmc::runtime

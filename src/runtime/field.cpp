@@ -1,0 +1,60 @@
+#include "runtime/field.h"
+
+#include <chrono>
+#include <thread>
+
+namespace cadmc::runtime {
+
+FieldSession::FieldSession(engine::RealizedStrategy realized,
+                           latency::ComputeLatencyModel edge_device,
+                           latency::ComputeLatencyModel cloud_device,
+                           net::BandwidthTrace trace, double rtt_ms,
+                           double time_scale)
+    : cut_(realized.cut),
+      model_size_(realized.model.size()),
+      edge_model_(realized.model.slice(0, realized.cut)),
+      edge_device_(std::move(edge_device)),
+      trace_(std::move(trace)),
+      rtt_ms_(rtt_ms),
+      time_scale_(time_scale) {
+  if (offloads()) {
+    cloud_ = std::make_unique<CloudExecutor>(
+        realized.model.slice(realized.cut, realized.model.size()),
+        std::move(cloud_device));
+    const std::uint16_t port = cloud_->start();
+    client_.connect(port);
+  }
+}
+
+FieldSession::~FieldSession() {
+  client_.close();
+  if (cloud_) cloud_->stop();
+}
+
+FieldOutcome FieldSession::infer(const tensor::Tensor& input,
+                                 double t_virtual_ms) {
+  FieldOutcome outcome;
+  tensor::Tensor features = input;
+  if (cut_ > 0) {
+    const ExecutionResult edge =
+        execute_range(edge_model_, input, 0, edge_model_.size(), edge_device_);
+    outcome.edge_ms = edge.device_ms;
+    features = edge.output;
+  }
+  if (!offloads()) {
+    outcome.logits = features;
+    return outcome;
+  }
+  outcome.transfer_ms = shaped_transfer_ms(
+      trace_, t_virtual_ms + outcome.edge_ms, features.byte_size(), rtt_ms_);
+  if (time_scale_ > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        outcome.transfer_ms * time_scale_));
+  }
+  const RemoteResult remote = call_cloud(client_, features);
+  outcome.logits = remote.logits;
+  outcome.cloud_ms = remote.cloud_ms;
+  return outcome;
+}
+
+}  // namespace cadmc::runtime

@@ -1,0 +1,54 @@
+// Field session: end-to-end inference with *real* tensors over a *real*
+// loopback TCP socket, paced by a bandwidth trace. The compute/transfer
+// latencies reported are virtual (modelled device + shaped trace time) while
+// the data path is genuine: edge forward pass -> encode features -> socket
+// -> cloud forward pass -> logits back. Used by the field-demo example and
+// integration tests to prove the composed models the engine ships actually
+// run and agree with local execution.
+#pragma once
+
+#include <memory>
+
+#include "engine/strategy.h"
+#include "net/trace.h"
+#include "runtime/executor.h"
+#include "runtime/shaper.h"
+
+namespace cadmc::runtime {
+
+struct FieldOutcome {
+  tensor::Tensor logits;
+  double edge_ms = 0.0;      // modelled edge compute
+  double transfer_ms = 0.0;  // shaped transfer (virtual)
+  double cloud_ms = 0.0;     // modelled cloud compute
+  double total_ms() const { return edge_ms + transfer_ms + cloud_ms; }
+};
+
+class FieldSession {
+ public:
+  /// Takes a weight-faithful realized strategy; the cloud half is moved
+  /// behind a TcpServer. `time_scale` compresses real sleeping (0 disables
+  /// pacing entirely — transfer time is still computed, just not slept).
+  FieldSession(engine::RealizedStrategy realized,
+               latency::ComputeLatencyModel edge_device,
+               latency::ComputeLatencyModel cloud_device,
+               net::BandwidthTrace trace, double rtt_ms,
+               double time_scale = 0.0);
+  ~FieldSession();
+
+  /// Runs one inference starting at virtual time `t_virtual_ms`.
+  FieldOutcome infer(const tensor::Tensor& input, double t_virtual_ms);
+
+  bool offloads() const { return cut_ < model_size_; }
+
+ private:
+  std::size_t cut_, model_size_;
+  nn::Model edge_model_;
+  latency::ComputeLatencyModel edge_device_;
+  net::BandwidthTrace trace_;
+  double rtt_ms_, time_scale_;
+  std::unique_ptr<CloudExecutor> cloud_;
+  TcpClient client_;
+};
+
+}  // namespace cadmc::runtime

@@ -1,0 +1,43 @@
+#include "runtime/shaper.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace cadmc::runtime {
+
+double shaped_transfer_ms(const net::BandwidthTrace& trace, double t_start_ms,
+                          std::int64_t bytes, double rtt_ms,
+                          double size_coeff) {
+  if (bytes <= 0) return 0.0;
+  double remaining = (1.0 + size_coeff) * static_cast<double>(bytes);
+  double t = t_start_ms + rtt_ms;
+  const double dt = trace.dt_ms();
+  // Drain sample by sample; partial last interval solved exactly.
+  for (int guard = 0; guard < 10'000'000; ++guard) {
+    const double bw = trace.at(t);  // bytes/ms, holds last sample at the end
+    const double drained = bw * dt;
+    if (drained >= remaining) return t + remaining / bw - t_start_ms;
+    remaining -= drained;
+    t += dt;
+  }
+  throw std::runtime_error("shaped_transfer_ms: transfer did not converge");
+}
+
+TokenBucketPacer::TokenBucketPacer(const net::BandwidthTrace& trace,
+                                   double time_scale)
+    : trace_(&trace), time_scale_(time_scale) {
+  if (time_scale <= 0.0)
+    throw std::invalid_argument("TokenBucketPacer: non-positive time scale");
+}
+
+double TokenBucketPacer::pace(std::int64_t bytes, double t_virtual_ms,
+                              double rtt_ms) {
+  const double duration =
+      shaped_transfer_ms(*trace_, t_virtual_ms, bytes, rtt_ms);
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      duration * time_scale_));
+  return duration;
+}
+
+}  // namespace cadmc::runtime

@@ -1,0 +1,141 @@
+#include "runtime/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace cadmc::runtime {
+
+namespace {
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, 0);
+    if (n <= 0) return false;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, data, len, 0);
+    if (n <= 0) return false;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+}  // namespace
+
+bool write_frame(int fd, const Blob& payload) {
+  std::uint64_t size = payload.size();
+  std::uint8_t header[8];
+  std::memcpy(header, &size, 8);
+  if (!write_all(fd, header, 8)) return false;
+  return payload.empty() || write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, Blob& payload) {
+  std::uint8_t header[8];
+  if (!read_all(fd, header, 8)) return false;
+  std::uint64_t size = 0;
+  std::memcpy(&size, header, 8);
+  if (size > (1ULL << 31)) return false;  // sanity cap: 2 GiB frames
+  payload.resize(size);
+  return size == 0 || read_all(fd, payload.data(), payload.size());
+}
+
+TcpServer::TcpServer(RequestHandler handler) : handler_(std::move(handler)) {}
+
+TcpServer::~TcpServer() { stop(); }
+
+std::uint16_t TcpServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("TcpServer: socket() failed");
+  int opt = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("TcpServer: bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 4) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("TcpServer: listen() failed");
+  }
+  running_ = true;
+  thread_ = std::thread([this] { serve(); });
+  return port_;
+}
+
+void TcpServer::serve() {
+  while (running_) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) break;  // listener closed
+    Blob request;
+    while (running_ && read_frame(conn, request)) {
+      const Blob response = handler_(request);
+      if (!write_frame(conn, response)) break;
+    }
+    ::close(conn);
+  }
+}
+
+void TcpServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+TcpClient::~TcpClient() { close(); }
+
+void TcpClient::connect(std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("TcpClient: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("TcpClient: connect() failed");
+  }
+}
+
+void TcpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Blob TcpClient::call(const Blob& request) {
+  if (fd_ < 0) throw std::runtime_error("TcpClient: not connected");
+  if (!write_frame(fd_, request))
+    throw std::runtime_error("TcpClient: send failed");
+  Blob response;
+  if (!read_frame(fd_, response))
+    throw std::runtime_error("TcpClient: receive failed");
+  return response;
+}
+
+}  // namespace cadmc::runtime

@@ -1,0 +1,63 @@
+// Loopback TCP transport: length-prefixed binary messages between the edge
+// process (client) and a cloud executor (server thread). Used by the field
+// demo to move real feature tensors through a real socket; the request
+// handler runs on the server thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace cadmc::runtime {
+
+using Blob = std::vector<std::uint8_t>;
+using RequestHandler = std::function<Blob(const Blob&)>;
+
+class TcpServer {
+ public:
+  explicit TcpServer(RequestHandler handler);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 127.0.0.1 on an ephemeral port, starts the accept thread, and
+  /// returns the port. Throws std::runtime_error on socket failure.
+  std::uint16_t start();
+  void stop();
+
+ private:
+  void serve();
+
+  RequestHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+class TcpClient {
+ public:
+  TcpClient() = default;
+  ~TcpClient();
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Connects to 127.0.0.1:port. Throws std::runtime_error on failure.
+  void connect(std::uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one request and blocks for the response.
+  Blob call(const Blob& request);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Frame helpers (exposed for tests): 8-byte little-endian length prefix.
+bool write_frame(int fd, const Blob& payload);
+bool read_frame(int fd, Blob& payload);
+
+}  // namespace cadmc::runtime

@@ -1,0 +1,307 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cadmc::tensor {
+
+namespace {
+void check_rank2(const Tensor& t, const char* name) {
+  if (t.rank() != 2) throw std::invalid_argument(std::string(name) + ": expected rank-2 tensor");
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul a");
+  check_rank2(b, "matmul b");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + static_cast<std::ptrdiff_t>(kk) * n;
+      float* crow = pc + static_cast<std::ptrdiff_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_tn a");
+  check_rank2(b, "matmul_tn b");
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul_tn: inner dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = pa + static_cast<std::ptrdiff_t>(kk) * m;
+    const float* brow = pb + static_cast<std::ptrdiff_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + static_cast<std::ptrdiff_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_nt a");
+  check_rank2(b, "matmul_nt b");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<std::ptrdiff_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = pb + static_cast<std::ptrdiff_t>(j) * k;
+      double s = 0.0;
+      for (int kk = 0; kk < k; ++kk) s += static_cast<double>(arow[kk]) * brow[kk];
+      pc[i * n + j] = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+int conv_out_size(int in, int kernel, int stride, int padding) {
+  const int span = in + 2 * padding - kernel;
+  if (span < 0) return 0;  // window larger than padded input: empty output
+  return span / stride + 1;
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              const Conv2dSpec& spec) {
+  if (input.rank() != 4 || weight.rank() != 4)
+    throw std::invalid_argument("conv2d: expected rank-4 input and weight");
+  const int n = input.dim(0), ci = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int co = weight.dim(0), cig = weight.dim(1), k = weight.dim(2);
+  if (weight.dim(3) != k) throw std::invalid_argument("conv2d: non-square kernel");
+  const int groups = spec.groups;
+  if (ci % groups != 0 || co % groups != 0 || ci / groups != cig)
+    throw std::invalid_argument("conv2d: group/channel mismatch");
+  const bool has_bias = !bias.empty();
+  if (has_bias && bias.numel() != co)
+    throw std::invalid_argument("conv2d: bias size mismatch");
+  const int ho = conv_out_size(h, k, spec.stride, spec.padding);
+  const int wo = conv_out_size(w, k, spec.stride, spec.padding);
+  if (ho <= 0 || wo <= 0) throw std::invalid_argument("conv2d: empty output");
+
+  Tensor out({n, co, ho, wo});
+  const int co_per_g = co / groups;
+  for (int b = 0; b < n; ++b) {
+    for (int oc = 0; oc < co; ++oc) {
+      const int g = oc / co_per_g;
+      for (int oy = 0; oy < ho; ++oy) {
+        for (int ox = 0; ox < wo; ++ox) {
+          double acc = has_bias ? bias.at(oc) : 0.0;
+          for (int icg = 0; icg < cig; ++icg) {
+            const int ic = g * cig + icg;
+            for (int ky = 0; ky < k; ++ky) {
+              const int iy = oy * spec.stride + ky - spec.padding;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < k; ++kx) {
+                const int ix = ox * spec.stride + kx - spec.padding;
+                if (ix < 0 || ix >= w) continue;
+                acc += static_cast<double>(input(b, ic, iy, ix)) *
+                       weight(oc, icg, ky, kx);
+              }
+            }
+          }
+          out(b, oc, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            bool has_bias, const Tensor& grad_out,
+                            const Conv2dSpec& spec) {
+  const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const int co = weight.dim(0), cig = weight.dim(1), k = weight.dim(2);
+  const int groups = spec.groups;
+  const int co_per_g = co / groups;
+  const int ho = grad_out.dim(2), wo = grad_out.dim(3);
+
+  Conv2dGrads grads;
+  grads.input = Tensor(input.shape());
+  grads.weight = Tensor(weight.shape());
+  if (has_bias) grads.bias = Tensor({co});
+
+  for (int b = 0; b < n; ++b) {
+    for (int oc = 0; oc < co; ++oc) {
+      const int g = oc / co_per_g;
+      for (int oy = 0; oy < ho; ++oy) {
+        for (int ox = 0; ox < wo; ++ox) {
+          const float go = grad_out(b, oc, oy, ox);
+          if (go == 0.0f) continue;
+          if (has_bias) grads.bias.at(oc) += go;
+          for (int icg = 0; icg < cig; ++icg) {
+            const int ic = g * cig + icg;
+            for (int ky = 0; ky < k; ++ky) {
+              const int iy = oy * spec.stride + ky - spec.padding;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < k; ++kx) {
+                const int ix = ox * spec.stride + kx - spec.padding;
+                if (ix < 0 || ix >= w) continue;
+                grads.weight(oc, icg, ky, kx) += go * input(b, ic, iy, ix);
+                grads.input(b, ic, iy, ix) += go * weight(oc, icg, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grads;
+}
+
+MaxPoolResult maxpool2d(const Tensor& input, int kernel, int stride) {
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int ho = conv_out_size(h, kernel, stride, 0);
+  const int wo = conv_out_size(w, kernel, stride, 0);
+  if (ho <= 0 || wo <= 0) throw std::invalid_argument("maxpool2d: empty output");
+  MaxPoolResult result;
+  result.output = Tensor({n, c, ho, wo});
+  result.argmax.resize(static_cast<std::size_t>(result.output.numel()));
+  std::int64_t out_idx = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int oy = 0; oy < ho; ++oy) {
+        for (int ox = 0; ox < wo; ++ox) {
+          float best = -3.4e38f;
+          std::int64_t best_idx = -1;
+          for (int ky = 0; ky < kernel; ++ky) {
+            const int iy = oy * stride + ky;
+            if (iy >= h) continue;
+            for (int kx = 0; kx < kernel; ++kx) {
+              const int ix = ox * stride + kx;
+              if (ix >= w) continue;
+              const std::int64_t flat =
+                  ((static_cast<std::int64_t>(b) * c + ch) * h + iy) * w + ix;
+              const float v = input.at(flat);
+              if (v > best) {
+                best = v;
+                best_idx = flat;
+              }
+            }
+          }
+          result.output.at(out_idx) = best;
+          result.argmax[static_cast<std::size_t>(out_idx)] = best_idx;
+          ++out_idx;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Tensor maxpool2d_backward(const Tensor& input, const MaxPoolResult& fwd,
+                          const Tensor& grad_out) {
+  Tensor grad_in(input.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i)
+    grad_in.at(fwd.argmax[static_cast<std::size_t>(i)]) += grad_out.at(i);
+  return grad_in;
+}
+
+Tensor avgpool2d(const Tensor& input, int kernel, int stride) {
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int ho = conv_out_size(h, kernel, stride, 0);
+  const int wo = conv_out_size(w, kernel, stride, 0);
+  if (ho <= 0 || wo <= 0) throw std::invalid_argument("avgpool2d: empty output");
+  Tensor out({n, c, ho, wo});
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch)
+      for (int oy = 0; oy < ho; ++oy)
+        for (int ox = 0; ox < wo; ++ox) {
+          double acc = 0.0;
+          for (int ky = 0; ky < kernel; ++ky)
+            for (int kx = 0; kx < kernel; ++kx) {
+              const int iy = oy * stride + ky;
+              const int ix = ox * stride + kx;
+              if (iy < h && ix < w) acc += input(b, ch, iy, ix);
+            }
+          out(b, ch, oy, ox) = static_cast<float>(acc) * inv;
+        }
+  return out;
+}
+
+Tensor avgpool2d_backward(const Tensor& input, int kernel, int stride,
+                          const Tensor& grad_out) {
+  Tensor grad_in(input.shape());
+  const int h = input.dim(2), w = input.dim(3);
+  const int ho = grad_out.dim(2), wo = grad_out.dim(3);
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  for (int b = 0; b < input.dim(0); ++b)
+    for (int ch = 0; ch < input.dim(1); ++ch)
+      for (int oy = 0; oy < ho; ++oy)
+        for (int ox = 0; ox < wo; ++ox) {
+          const float g = grad_out(b, ch, oy, ox) * inv;
+          for (int ky = 0; ky < kernel; ++ky)
+            for (int kx = 0; kx < kernel; ++kx) {
+              const int iy = oy * stride + ky;
+              const int ix = ox * stride + kx;
+              if (iy < h && ix < w) grad_in(b, ch, iy, ix) += g;
+            }
+        }
+  return grad_in;
+}
+
+Tensor global_avgpool(const Tensor& input) {
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  Tensor out({n, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      double acc = 0.0;
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) acc += input(b, ch, y, x);
+      out(b, ch) = static_cast<float>(acc) * inv;
+    }
+  return out;
+}
+
+Tensor global_avgpool_backward(const Tensor& input, const Tensor& grad_out) {
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  Tensor grad_in(input.shape());
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      const float g = grad_out(b, ch) * inv;
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) grad_in(b, ch, y, x) = g;
+    }
+  return grad_in;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) throw std::invalid_argument("softmax_rows: rank-2 expected");
+  const int n = logits.dim(0), d = logits.dim(1);
+  Tensor out(logits.shape());
+  for (int i = 0; i < n; ++i) {
+    float mx = logits(i, 0);
+    for (int j = 1; j < d; ++j) mx = std::max(mx, logits(i, j));
+    double denom = 0.0;
+    for (int j = 0; j < d; ++j) denom += std::exp(static_cast<double>(logits(i, j)) - mx);
+    for (int j = 0; j < d; ++j)
+      out(i, j) = static_cast<float>(
+          std::exp(static_cast<double>(logits(i, j)) - mx) / denom);
+  }
+  return out;
+}
+
+}  // namespace cadmc::tensor

@@ -1,0 +1,64 @@
+// Dense tensor kernels: matrix multiplication, 2-D (grouped) convolution with
+// full backward passes, pooling, and softmax. All kernels are straightforward
+// loop nests — the models in this repo are CIFAR-scale, and the paper's
+// latency numbers come from the analytic model in src/latency, not from wall
+// clock of these kernels.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace cadmc::tensor {
+
+/// C[m,n] = A[m,k] * B[k,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C[m,n] = A^T[k,m]^T * B[k,n]  (i.e. a is [k,m], result [m,n]).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C[m,n] = A[m,k] * B^T where b is [n,k].
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+struct Conv2dSpec {
+  int stride = 1;
+  int padding = 0;
+  int groups = 1;  // groups == in_channels gives a depthwise convolution
+};
+
+/// Output spatial size for one dimension.
+int conv_out_size(int in, int kernel, int stride, int padding);
+
+/// input [N,Ci,H,W], weight [Co,Ci/groups,K,K], bias [Co] (may be empty).
+/// Returns [N,Co,Ho,Wo].
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              const Conv2dSpec& spec);
+
+struct Conv2dGrads {
+  Tensor input;   // dL/dinput, same shape as input
+  Tensor weight;  // dL/dweight
+  Tensor bias;    // dL/dbias ([Co]; empty if no bias)
+};
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            bool has_bias, const Tensor& grad_out,
+                            const Conv2dSpec& spec);
+
+/// Max pooling, input [N,C,H,W]. Also returns argmax indices for backward.
+struct MaxPoolResult {
+  Tensor output;
+  std::vector<std::int64_t> argmax;  // flat input index chosen per output cell
+};
+MaxPoolResult maxpool2d(const Tensor& input, int kernel, int stride);
+Tensor maxpool2d_backward(const Tensor& input, const MaxPoolResult& fwd,
+                          const Tensor& grad_out);
+
+/// Average pooling over kernel x kernel windows.
+Tensor avgpool2d(const Tensor& input, int kernel, int stride);
+Tensor avgpool2d_backward(const Tensor& input, int kernel, int stride,
+                          const Tensor& grad_out);
+
+/// Global average pooling: [N,C,H,W] -> [N,C].
+Tensor global_avgpool(const Tensor& input);
+Tensor global_avgpool_backward(const Tensor& input, const Tensor& grad_out);
+
+/// Row-wise softmax of a [N,D] tensor (numerically stable).
+Tensor softmax_rows(const Tensor& logits);
+
+}  // namespace cadmc::tensor

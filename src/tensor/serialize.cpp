@@ -1,0 +1,86 @@
+#include "tensor/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace cadmc::tensor {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x54444143;  // "CADT"
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  std::uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T get(const std::vector<std::uint8_t>& buf, std::size_t& offset) {
+  if (offset + sizeof(T) > buf.size())
+    throw std::runtime_error("decode_tensor: truncated buffer");
+  T v;
+  std::memcpy(&v, buf.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return v;
+}
+}  // namespace
+
+void encode_tensor(const Tensor& t, std::vector<std::uint8_t>& out) {
+  put(out, kMagic);
+  put(out, static_cast<std::uint32_t>(t.rank()));
+  for (std::size_t i = 0; i < t.rank(); ++i)
+    put(out, static_cast<std::int32_t>(t.dim(i)));
+  const std::size_t bytes = static_cast<std::size_t>(t.numel()) * sizeof(float);
+  const std::size_t pos = out.size();
+  out.resize(pos + bytes);
+  if (bytes) std::memcpy(out.data() + pos, t.data().data(), bytes);
+}
+
+std::vector<std::uint8_t> encode_tensor(const Tensor& t) {
+  std::vector<std::uint8_t> out;
+  encode_tensor(t, out);
+  return out;
+}
+
+Tensor decode_tensor(const std::vector<std::uint8_t>& buf, std::size_t& offset) {
+  if (get<std::uint32_t>(buf, offset) != kMagic)
+    throw std::runtime_error("decode_tensor: bad magic");
+  const std::uint32_t rank = get<std::uint32_t>(buf, offset);
+  if (rank > 8) throw std::runtime_error("decode_tensor: absurd rank");
+  Shape shape;
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    const std::int32_t d = get<std::int32_t>(buf, offset);
+    if (d <= 0) throw std::runtime_error("decode_tensor: non-positive dim");
+    shape.push_back(d);
+  }
+  const std::int64_t numel = shape_numel(shape);
+  const std::size_t bytes = static_cast<std::size_t>(numel) * sizeof(float);
+  if (offset + bytes > buf.size())
+    throw std::runtime_error("decode_tensor: truncated payload");
+  std::vector<float> values(static_cast<std::size_t>(numel));
+  if (bytes) std::memcpy(values.data(), buf.data() + offset, bytes);
+  offset += bytes;
+  return Tensor(std::move(shape), std::move(values));
+}
+
+bool save_tensor(const Tensor& t, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const auto buf = encode_tensor(t);
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  return static_cast<bool>(out);
+}
+
+Tensor load_tensor(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_tensor: cannot open " + path);
+  std::vector<std::uint8_t> buf((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  std::size_t offset = 0;
+  return decode_tensor(buf, offset);
+}
+
+}  // namespace cadmc::tensor

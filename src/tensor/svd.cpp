@@ -1,0 +1,253 @@
+#include "tensor/svd.h"
+
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace cadmc::tensor {
+
+SvdResult svd(const Tensor& a, int max_sweeps, double tol) {
+  if (a.rank() != 2) throw std::invalid_argument("svd: rank-2 expected");
+  const int m = a.dim(0), n = a.dim(1);
+
+  // One-sided Jacobi works on the columns; for m < n, decompose A^T instead
+  // and swap the roles of U and V.
+  if (m < n) {
+    Tensor at({n, m});
+    for (int i = 0; i < m; ++i)
+      for (int j = 0; j < n; ++j) at(j, i) = a(i, j);
+    SvdResult t = svd(at, max_sweeps, tol);
+    SvdResult result;
+    const int r = static_cast<int>(t.singular.size());
+    result.singular = t.singular;
+    // A = (A^T)^T = (U S V^T)^T = V S U^T.
+    result.u = Tensor({m, r});
+    for (int i = 0; i < m; ++i)
+      for (int k = 0; k < r; ++k) result.u(i, k) = t.vt(k, i);
+    result.vt = Tensor({r, n});
+    for (int k = 0; k < r; ++k)
+      for (int j = 0; j < n; ++j) result.vt(k, j) = t.u(j, k);
+    return result;
+  }
+
+  // Work in double precision: columns of `w` are rotated until orthogonal.
+  std::vector<double> w(static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) w[static_cast<std::size_t>(j) * m + i] = a(i, j);
+  std::vector<double> v(static_cast<std::size_t>(n) * n, 0.0);  // V, column-major
+  for (int j = 0; j < n; ++j) v[static_cast<std::size_t>(j) * n + j] = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        const double* cp = &w[static_cast<std::size_t>(p) * m];
+        const double* cq = &w[static_cast<std::size_t>(q) * m];
+        for (int i = 0; i < m; ++i) {
+          alpha += cp[i] * cp[i];
+          beta += cq[i] * cq[i];
+          gamma += cp[i] * cq[i];
+        }
+        off = std::max(off, std::fabs(gamma) / std::max(1e-300, std::sqrt(alpha * beta)));
+        if (std::fabs(gamma) < 1e-300) continue;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t_rot = (zeta >= 0 ? 1.0 : -1.0) /
+                             (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t_rot * t_rot);
+        const double s = c * t_rot;
+        double* wp = &w[static_cast<std::size_t>(p) * m];
+        double* wq = &w[static_cast<std::size_t>(q) * m];
+        for (int i = 0; i < m; ++i) {
+          const double tmp = c * wp[i] - s * wq[i];
+          wq[i] = s * wp[i] + c * wq[i];
+          wp[i] = tmp;
+        }
+        double* vp = &v[static_cast<std::size_t>(p) * n];
+        double* vq = &v[static_cast<std::size_t>(q) * n];
+        for (int i = 0; i < n; ++i) {
+          const double tmp = c * vp[i] - s * vq[i];
+          vq[i] = s * vp[i] + c * vq[i];
+          vp[i] = tmp;
+        }
+      }
+    }
+    if (off < tol) break;
+  }
+
+  // Singular values are the column norms; U columns are normalized columns.
+  std::vector<double> sigma(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    double norm = 0.0;
+    const double* cj = &w[static_cast<std::size_t>(j) * m];
+    for (int i = 0; i < m; ++i) norm += cj[i] * cj[i];
+    sigma[static_cast<std::size_t>(j)] = std::sqrt(norm);
+  }
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return sigma[static_cast<std::size_t>(x)] > sigma[static_cast<std::size_t>(y)]; });
+
+  SvdResult result;
+  result.u = Tensor({m, n});
+  result.vt = Tensor({n, n});
+  result.singular.resize(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const int j = order[static_cast<std::size_t>(k)];
+    const double sv = sigma[static_cast<std::size_t>(j)];
+    result.singular[static_cast<std::size_t>(k)] = sv;
+    const double inv = sv > 1e-300 ? 1.0 / sv : 0.0;
+    const double* cj = &w[static_cast<std::size_t>(j) * m];
+    for (int i = 0; i < m; ++i)
+      result.u(i, k) = static_cast<float>(cj[i] * inv);
+    const double* vj = &v[static_cast<std::size_t>(j) * n];
+    for (int i = 0; i < n; ++i)
+      result.vt(k, i) = static_cast<float>(vj[i]);
+  }
+  return result;
+}
+
+namespace {
+/// Rank-revealing Gram–Schmidt orthonormalization of the columns of
+/// q [m, k], in place. Columns that collapse under projection (linearly
+/// dependent on earlier ones) are zeroed rather than normalized — otherwise
+/// float32 round-off noise would be blown up into spurious non-orthogonal
+/// directions. Each column is orthogonalized twice (re-orthogonalization)
+/// for numerical robustness.
+void orthonormalize_columns(Tensor& q) {
+  const int m = q.dim(0), k = q.dim(1);
+  for (int j = 0; j < k; ++j) {
+    double orig_norm = 0.0;
+    for (int i = 0; i < m; ++i)
+      orig_norm += static_cast<double>(q(i, j)) * q(i, j);
+    orig_norm = std::sqrt(orig_norm);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int prev = 0; prev < j; ++prev) {
+        double dot = 0.0;
+        for (int i = 0; i < m; ++i)
+          dot += static_cast<double>(q(i, prev)) * q(i, j);
+        for (int i = 0; i < m; ++i)
+          q(i, j) -= static_cast<float>(dot) * q(i, prev);
+      }
+    }
+    double norm = 0.0;
+    for (int i = 0; i < m; ++i) norm += static_cast<double>(q(i, j)) * q(i, j);
+    norm = std::sqrt(norm);
+    // Rank reveal: a column whose residual is a round-off sliver of its
+    // original magnitude is dependent on the earlier columns.
+    const bool dependent = norm <= 1e-5 * orig_norm || norm < 1e-20;
+    const float inv = dependent ? 0.0f : static_cast<float>(1.0 / norm);
+    for (int i = 0; i < m; ++i) q(i, j) *= inv;
+  }
+}
+
+Tensor transpose(const Tensor& a) {
+  const int m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+Tensor matmul_local(const Tensor& a, const Tensor& b) {
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (int i = 0; i < m; ++i)
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = a(i, kk);
+      if (av == 0.0f) continue;
+      for (int j = 0; j < n; ++j) c(i, j) += av * b(kk, j);
+    }
+  return c;
+}
+}  // namespace
+
+LowRankFactors randomized_low_rank(const Tensor& a, int k, int oversample,
+                                   int power_iters, std::uint64_t seed) {
+  const int m = a.dim(0), n = a.dim(1);
+  const int r = std::min({k + oversample, m, n});
+  k = std::clamp(k, 1, r);
+  util::Rng rng(seed);
+  // Range finder: Q = orth((A A^T)^p A Omega).
+  Tensor omega = Tensor::randn({n, r}, rng);
+  Tensor q = matmul_local(a, omega);  // [m, r]
+  orthonormalize_columns(q);
+  const Tensor at = transpose(a);
+  for (int p = 0; p < power_iters; ++p) {
+    Tensor z = matmul_local(at, q);  // [n, r]
+    orthonormalize_columns(z);
+    q = matmul_local(a, z);  // [m, r]
+    orthonormalize_columns(q);
+  }
+  // B = Q^T A is r x n with small r; exact SVD of B is cheap.
+  const Tensor b = matmul_local(transpose(q), a);  // [r, n]
+  const SvdResult bs = svd(b);
+  LowRankFactors f;
+  f.left = Tensor({m, k});
+  f.right = Tensor({k, n});
+  // left = Q * U_k * diag(S_k), right = Vt_k.
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < k; ++j) {
+      double acc = 0.0;
+      for (int t = 0; t < r; ++t) acc += static_cast<double>(q(i, t)) * bs.u(t, j);
+      f.left(i, j) = static_cast<float>(acc * bs.singular[static_cast<std::size_t>(j)]);
+    }
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < n; ++j) f.right(i, j) = bs.vt(i, j);
+  return f;
+}
+
+LowRankFactors low_rank_factors(const Tensor& a, int k) {
+  const int m = a.dim(0), n = a.dim(1);
+  k = std::clamp(k, 1, std::min(m, n));
+  // Exact Jacobi SVD is O(min(m,n)^2 * max(m,n)) per sweep — fine for small
+  // matrices, prohibitive for wide FC layers. Randomized projection keeps
+  // F1/F2 realization fast there.
+  if (static_cast<std::int64_t>(m) * n > 64 * 1024 ||
+      std::min(m, n) > 192) {
+    return randomized_low_rank(a, k);
+  }
+  SvdResult s = svd(a);
+  LowRankFactors f;
+  f.left = Tensor({m, k});
+  f.right = Tensor({k, n});
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < k; ++j)
+      f.left(i, j) = static_cast<float>(s.u(i, j) * s.singular[static_cast<std::size_t>(j)]);
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < n; ++j) f.right(i, j) = s.vt(i, j);
+  return f;
+}
+
+double relative_frobenius_error(const Tensor& a, const Tensor& b) {
+  double num = 0.0, den = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a.at(i)) - b.at(i);
+    num += d * d;
+    den += static_cast<double>(a.at(i)) * a.at(i);
+  }
+  return den > 0 ? std::sqrt(num / den) : 0.0;
+}
+
+void sparsify_in_place(Tensor& t, double keep_fraction) {
+  keep_fraction = std::clamp(keep_fraction, 0.0, 1.0);
+  const std::int64_t n = t.numel();
+  const std::int64_t keep = static_cast<std::int64_t>(
+      std::ceil(keep_fraction * static_cast<double>(n)));
+  if (keep >= n) return;
+  std::vector<float> mags(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) mags[static_cast<std::size_t>(i)] = std::fabs(t.at(i));
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(n - keep),
+                   mags.end());
+  const float threshold =
+      keep > 0 ? mags[static_cast<std::size_t>(n - keep)]
+               : std::numeric_limits<float>::max();
+  for (std::int64_t i = 0; i < n; ++i)
+    if (std::fabs(t.at(i)) < threshold) t.at(i) = 0.0f;
+}
+
+}  // namespace cadmc::tensor

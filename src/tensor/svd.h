@@ -1,0 +1,43 @@
+// Singular value decomposition via one-sided Jacobi rotations. This powers
+// the F1 (SVD) and F2 (KSVD) fully-connected-layer compressions of Table II:
+// an m x n weight matrix is replaced by rank-k factors (m x k) and (k x n).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace cadmc::tensor {
+
+struct SvdResult {
+  Tensor u;                       // [m, r]
+  std::vector<double> singular;   // r values, descending
+  Tensor vt;                      // [r, n]
+};
+
+/// Full (thin) SVD of a [m, n] matrix, r = min(m, n).
+SvdResult svd(const Tensor& a, int max_sweeps = 60, double tol = 1e-12);
+
+struct LowRankFactors {
+  Tensor left;   // [m, k] = U_k * diag(S_k)
+  Tensor right;  // [k, n] = Vt_k
+};
+
+/// Best rank-k approximation factors of a (Eckart–Young). k is clamped to
+/// min(m, n). Small matrices use the exact Jacobi SVD; large ones switch to
+/// a randomized range-finder (Halko et al.) with deterministic projections,
+/// which is near-optimal and keeps F1/F2 realization fast on wide FC layers.
+LowRankFactors low_rank_factors(const Tensor& a, int k);
+
+/// Randomized truncated factorization (exposed for tests): subspace
+/// iteration with `oversample` extra directions and `power_iters` passes.
+LowRankFactors randomized_low_rank(const Tensor& a, int k, int oversample = 8,
+                                   int power_iters = 2,
+                                   std::uint64_t seed = 0x54D);
+
+/// Relative Frobenius-norm error ||a - b||_F / ||a||_F.
+double relative_frobenius_error(const Tensor& a, const Tensor& b);
+
+/// Keeps the `keep_fraction` largest-magnitude entries of each factor and
+/// zeroes the rest — the sparse-factor variant used by F2 (KSVD) in Table II.
+void sparsify_in_place(Tensor& t, double keep_fraction);
+
+}  // namespace cadmc::tensor

@@ -1,0 +1,106 @@
+// A small dense float32 tensor with value semantics. This is the numerical
+// substrate for the DNN library (src/nn): weights, activations and gradients
+// are all Tensors. Row-major (C-contiguous) layout, up to 4 dimensions,
+// NCHW convention for image tensors.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cadmc::tensor {
+
+using Shape = std::vector<int>;
+
+std::string shape_to_string(const Shape& shape);
+std::int64_t shape_numel(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty tensor (numel == 0).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape. All dims must be positive.
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value);
+  static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+  /// I.i.d. normal entries with the given stddev.
+  static Tensor randn(Shape shape, util::Rng& rng, float stddev = 1.0f);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor rand_uniform(Shape shape, util::Rng& rng, float lo, float hi);
+  /// 1-D tensor from a list.
+  static Tensor from_values(std::initializer_list<float> values);
+
+  const Shape& shape() const { return shape_; }
+  int dim(std::size_t i) const {
+    assert(i < shape_.size());
+    return shape_[i];
+  }
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  float& at(std::int64_t i) {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float at(std::int64_t i) const {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  // Multi-dimensional accessors; rank must match.
+  float& operator()(int i);
+  float operator()(int i) const;
+  float& operator()(int i, int j);
+  float operator()(int i, int j) const;
+  float& operator()(int i, int j, int k);
+  float operator()(int i, int j, int k) const;
+  float& operator()(int n, int c, int h, int w);
+  float operator()(int n, int c, int h, int w) const;
+
+  /// Same data reinterpreted under a new shape; numel must match.
+  Tensor reshaped(Shape new_shape) const;
+
+  // In-place arithmetic.
+  Tensor& fill(float value);
+  Tensor& add_(const Tensor& other);                // this += other
+  Tensor& add_scaled_(const Tensor& other, float s);  // this += s * other
+  Tensor& scale_(float s);                          // this *= s
+  Tensor& clamp_min_(float lo);
+
+  // Reductions.
+  float sum() const;
+  float max() const;
+  float abs_max() const;
+  float l2_norm() const;
+  int argmax() const;
+
+  /// Max |a-b| over elements; shapes must match.
+  static float max_abs_diff(const Tensor& a, const Tensor& b);
+
+  /// Serialized size in bytes when sent over the wire (float32 payload).
+  /// This is the S of the transfer-latency model (Eqn. 6).
+  std::int64_t byte_size() const { return numel() * 4; }
+
+  std::string to_string(int max_elems = 16) const;
+
+ private:
+  std::int64_t flat_index(std::span<const int> idx) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace cadmc::tensor

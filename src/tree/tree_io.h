@@ -1,0 +1,23 @@
+// Model-tree persistence: the offline phase (Fig. 2, top) runs on a server;
+// the resulting decision tree ships to the device. The format is a compact
+// line-oriented text encoding of the tree's decisions (cuts, per-layer
+// technique plans, fork bandwidths, block boundaries) — the base model's
+// weights travel separately (nn/checkpoint.h).
+#pragma once
+
+#include <string>
+
+#include "tree/model_tree.h"
+
+namespace cadmc::tree {
+
+/// Serializes the tree's decisions (not the base model).
+std::string encode_tree(const ModelTree& tree);
+bool save_tree(const ModelTree& tree, const std::string& path);
+
+/// Rebuilds a tree over `base`. Throws std::runtime_error on malformed
+/// input or when the encoded boundaries/plans do not fit `base`.
+ModelTree decode_tree(const nn::Model& base, const std::string& text);
+ModelTree load_tree(const nn::Model& base, const std::string& path);
+
+}  // namespace cadmc::tree

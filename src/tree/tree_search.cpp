@@ -1,0 +1,223 @@
+#include "tree/tree_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "latency/transfer_model.h"
+
+namespace cadmc::tree {
+
+using controller::LayerEmbedder;
+using engine::Evaluation;
+
+TreeSearch::TreeSearch(const engine::StrategyEvaluator& evaluator,
+                       std::vector<std::size_t> boundaries,
+                       std::vector<double> fork_bandwidths,
+                       const TreeSearchConfig& config)
+    : evaluator_(&evaluator),
+      boundaries_(std::move(boundaries)),
+      fork_bandwidths_(std::move(fork_bandwidths)),
+      config_(config),
+      partition_(config.hidden_dim, config.seed ^ 0x7A3E),
+      compression_(config.hidden_dim, compress::kTechniqueCount,
+                   config.seed ^ 0x53C2) {}
+
+void TreeSearch::generate_forward(ModelTree& tree, util::Rng& rng, double alpha,
+                                  std::vector<NodeDecision>& decisions) {
+  tree.reset();
+  const nn::Model& base = evaluator_->base();
+  const std::size_t num_blocks = tree.num_blocks();
+  // BFS over the complete tree (Alg. 3 line 5).
+  std::vector<TreeNode*> frontier;
+  for (TreeNode& c : tree.root().children) frontier.push_back(&c);
+  std::size_t head = 0;
+  while (head < frontier.size()) {
+    TreeNode* node = frontier[head++];
+    const std::size_t j = node->depth;
+    const std::size_t begin = tree.block_begin(j), end = tree.block_end(j);
+    const std::size_t block_len = end - begin;
+    const double bw_mbps = latency::bytes_per_ms_to_mbps(
+        fork_bandwidths_[static_cast<std::size_t>(node->fork)]);
+
+    NodeDecision d;
+    d.node = node;
+    d.block_features = LayerEmbedder::embed_range(base, begin, end, bw_mbps);
+
+    // Partition decision for this block (Alg. 3 line 9), with fair-chance
+    // exploration: force "no partition" with probability alpha*(N-j)/N.
+    const double force_prob =
+        alpha * static_cast<double>(num_blocks - j) / static_cast<double>(num_blocks);
+    const auto p = partition_.sample(d.block_features, rng);
+    int action = p.action;
+    if (config_.fair_chance && rng.bernoulli(force_prob))
+      action = static_cast<int>(block_len);  // no partition
+    d.partition_action = action;
+    node->cut_local = static_cast<std::size_t>(action);
+
+    // Compression decision for the block's edge side (Alg. 3 line 10).
+    const std::size_t edge_end = begin + node->cut_local;
+    node->block_plan.assign(node->cut_local, TechniqueId::kNone);
+    d.compressed = node->cut_local > 0;
+    if (d.compressed) {
+      d.comp_features = LayerEmbedder::embed_range(base, begin, edge_end, bw_mbps);
+      d.masks = evaluator_->technique_masks(begin, edge_end);
+      const auto samples = compression_.sample(d.comp_features, d.masks, rng);
+      d.compression_actions.resize(samples.size());
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        d.compression_actions[i] = samples[i].action;
+        node->block_plan[i] = static_cast<TechniqueId>(samples[i].action);
+      }
+    }
+
+    if (node->partitions(block_len)) {
+      // Everything after the cut inherits the base DNN on the cloud
+      // (Alg. 3 lines 18-21): terminal node, no children.
+      node->children.clear();
+    } else {
+      for (TreeNode& c : node->children) frontier.push_back(&c);
+    }
+    decisions.push_back(std::move(d));
+  }
+}
+
+void TreeSearch::estimate_backward(ModelTree& tree) const {
+  const std::size_t num_blocks = tree.num_blocks();
+  // Terminal nodes get their composed-branch reward (Alg. 3 lines 13-25);
+  // parents then average their children (lines 27-31).
+  std::vector<int> path;
+  const std::function<void(TreeNode&)> walk = [&](TreeNode& node) {
+    path.push_back(node.fork);
+    if (node.children.empty()) {
+      const auto ps = tree.strategy_for_path(path);
+      std::vector<double> bandwidths(num_blocks,
+                                     fork_bandwidths_[static_cast<std::size_t>(path.back())]);
+      for (std::size_t level = 0; level < path.size() && level < num_blocks; ++level)
+        bandwidths[level] = fork_bandwidths_[static_cast<std::size_t>(path[level])];
+      const Evaluation eval = evaluator_->evaluate_trajectory(
+          ps.strategy, boundaries_, bandwidths);
+      node.reward = eval.reward;
+    } else {
+      double sum = 0.0;
+      for (TreeNode& c : node.children) {
+        walk(c);
+        sum += c.reward;
+      }
+      node.reward = config_.backward_averaging
+                        ? sum / static_cast<double>(node.children.size())
+                        : 0.0;
+    }
+    path.pop_back();
+  };
+  double root_sum = 0.0;
+  for (TreeNode& c : tree.root().children) {
+    walk(c);
+    root_sum += c.reward;
+  }
+  tree.root().reward = root_sum / static_cast<double>(tree.root().children.size());
+}
+
+double TreeSearch::tree_expected_reward(const ModelTree& tree) const {
+  const std::size_t num_blocks = tree.num_blocks();
+  const double k = static_cast<double>(tree.num_forks());
+  double expected = 0.0;
+  for (const auto& path : tree.all_paths()) {
+    const auto ps = tree.strategy_for_path(path);
+    std::vector<double> bandwidths(num_blocks,
+                                   fork_bandwidths_[static_cast<std::size_t>(path.back())]);
+    for (std::size_t level = 0; level < path.size() && level < num_blocks; ++level)
+      bandwidths[level] = fork_bandwidths_[static_cast<std::size_t>(path[level])];
+    const Evaluation eval =
+        evaluator_->evaluate_trajectory(ps.strategy, boundaries_, bandwidths);
+    expected += eval.reward * std::pow(1.0 / k, static_cast<double>(path.size()));
+  }
+  return expected;
+}
+
+TreeSearchResult TreeSearch::run() {
+  util::Rng rng(config_.seed);
+  TreeSearchResult result{
+      ModelTree(evaluator_->base(), boundaries_, fork_bandwidths_),
+      0.0, 0.0, {}, {}};
+
+  // Optimal-branch boosting: search a branch per bandwidth type and graft
+  // each onto the all-k path of the incumbent tree (Sec. VII-A).
+  if (config_.boost_with_branches) {
+    for (std::size_t k = 0; k < fork_bandwidths_.size(); ++k) {
+      engine::BranchSearchConfig bc = config_.branch_config;
+      bc.seed = config_.seed ^ (0xB0057ULL + k);
+      engine::BranchSearch branch(*evaluator_, bc);
+      auto br = branch.run(fork_bandwidths_[k]);
+      result.best_branch_reward =
+          std::max(result.best_branch_reward, br.best_eval.reward);
+      result.branch_results.push_back(std::move(br));
+    }
+    // Mixed-fork paths inherit the strongest single branch as a floor; the
+    // all-k paths then get their fork-matched branches (Sec. VII-A).
+    std::size_t best_k = 0;
+    for (std::size_t k = 1; k < result.branch_results.size(); ++k)
+      if (result.branch_results[k].best_eval.reward >
+          result.branch_results[best_k].best_eval.reward)
+        best_k = k;
+    result.tree.graft_everywhere(result.branch_results[best_k].best);
+    for (std::size_t k = 0; k < result.branch_results.size(); ++k)
+      result.tree.graft_branch(static_cast<int>(k),
+                               result.branch_results[k].best);
+  }
+  estimate_backward(result.tree);
+  result.tree_reward = result.tree.root().reward;
+
+  // Extra boosts: graft each pre-trained branch onto every fork and keep
+  // the strongest incumbent.
+  for (const engine::Strategy& strategy : config_.extra_boost_strategies) {
+    ModelTree boosted(evaluator_->base(), boundaries_, fork_bandwidths_);
+    boosted.graft_everywhere(strategy);
+    estimate_backward(boosted);
+    if (boosted.root().reward > result.tree_reward) {
+      result.tree_reward = boosted.root().reward;
+      result.tree = boosted;
+    }
+  }
+
+  rl::RewardBaseline baseline;
+  ModelTree candidate(evaluator_->base(), boundaries_, fork_bandwidths_);
+  for (int episode = 0; episode < config_.episodes; ++episode) {
+    const double alpha =
+        config_.alpha_decay_episodes > 0
+            ? config_.alpha0 *
+                  std::max(0.0, 1.0 - static_cast<double>(episode) /
+                                          config_.alpha_decay_episodes)
+            : 0.0;
+    std::vector<NodeDecision> decisions;
+    generate_forward(candidate, rng, alpha, decisions);
+    estimate_backward(candidate);
+    const double tree_reward = candidate.root().reward;
+    result.log.record(tree_reward);
+    if (tree_reward > result.tree_reward) {
+      result.tree_reward = tree_reward;
+      result.tree = candidate;
+    }
+    const double b = baseline.value();
+    baseline.advantage(tree_reward);  // fold the episode into the EMA
+
+    // Controller updates with each node's action-reward pair (Alg. 3 line 33).
+    partition_.zero_grad();
+    compression_.zero_grad();
+    bool any_compression = false;
+    for (const NodeDecision& d : decisions) {
+      const double advantage = (d.node->reward - b) / 40.0;
+      partition_.accumulate_grad(d.block_features, d.partition_action, advantage);
+      if (d.compressed) {
+        compression_.accumulate_grad(d.comp_features, d.masks,
+                                     d.compression_actions, advantage);
+        any_compression = true;
+      }
+    }
+    partition_.step();
+    if (any_compression) compression_.step();
+  }
+  return result;
+}
+
+}  // namespace cadmc::tree

@@ -1,0 +1,88 @@
+// Alg. 3 — "Model Tree Search": trains the partition/compression controllers
+// over whole model trees using the two-stage latent reward assignment:
+//  * forward generation — traverse the complete N-level K-fork tree in BFS
+//    order, sampling per-block partition and compression actions conditioned
+//    on each fork's representative bandwidth; nodes past a partition inherit
+//    the base DNN with the cloud flag set;
+//  * backward estimation — terminal nodes get the reward of their composed
+//    branch (priced across the path's bandwidth trajectory), and every
+//    parent receives the average of its children's rewards, propagated from
+//    the leaves to the root.
+// Includes the Sec. VII-A countermeasures: fair-chance exploration (forced
+// no-partition probability alpha * (N-n)/N, decaying over episodes) and
+// optimal-branch boosting (grafting per-fork Alg. 1 solutions into the
+// incumbent tree so it never underperforms the optimal branch).
+#pragma once
+
+#include "engine/branch_search.h"
+#include "tree/model_tree.h"
+
+namespace cadmc::tree {
+
+struct TreeSearchConfig {
+  int episodes = 150;
+  int hidden_dim = 24;
+  std::uint64_t seed = 11;
+  // Fair-chance exploration (Sec. VII-A): forced no-partition probability
+  // alpha * (N - n) / N at tree level n; alpha decays linearly to zero over
+  // `alpha_decay_episodes`.
+  bool fair_chance = true;
+  double alpha0 = 0.6;
+  int alpha_decay_episodes = 40;
+  // Optimal-branch boosting (Sec. VII-A).
+  bool boost_with_branches = true;
+  engine::BranchSearchConfig branch_config;
+  // Additional pre-trained branch strategies grafted onto EVERY fork as
+  // candidate incumbents (e.g. the Alg. 1 solution at the context's median
+  // bandwidth) — "replace corresponding branches of the model tree with
+  // these pre-trained branches" (Sec. VII-A).
+  std::vector<engine::Strategy> extra_boost_strategies;
+  // Ablation switch: when false, rewards are assigned to leaves only and
+  // internal nodes keep reward 0 (no backward averaging).
+  bool backward_averaging = true;
+};
+
+struct TreeSearchResult {
+  ModelTree tree;                 // best tree found (decisions + rewards)
+  double tree_reward = 0.0;       // root-averaged reward of the best tree
+  double best_branch_reward = 0.0;  // best single-branch reward seen
+  std::vector<engine::BranchSearchResult> branch_results;  // per fork (boosting)
+  rl::EpisodeLog log;             // per-episode tree rewards
+};
+
+class TreeSearch {
+ public:
+  TreeSearch(const engine::StrategyEvaluator& evaluator,
+             std::vector<std::size_t> boundaries,
+             std::vector<double> fork_bandwidths,
+             const TreeSearchConfig& config);
+
+  TreeSearchResult run();
+
+  /// Expected reward of a tree: mean leaf-branch reward weighted by the
+  /// (uniform) probability of each fork path.
+  double tree_expected_reward(const ModelTree& tree) const;
+
+ private:
+  struct NodeDecision {
+    TreeNode* node = nullptr;
+    tensor::Tensor block_features;  // partition-controller input (full block)
+    tensor::Tensor comp_features;   // compression-controller input (edge side)
+    int partition_action = 0;
+    std::vector<std::vector<int>> masks;
+    std::vector<int> compression_actions;
+    bool compressed = false;  // whether compression actions were sampled
+  };
+  void generate_forward(ModelTree& tree, util::Rng& rng, double alpha,
+                        std::vector<NodeDecision>& decisions);
+  void estimate_backward(ModelTree& tree) const;
+
+  const engine::StrategyEvaluator* evaluator_;
+  std::vector<std::size_t> boundaries_;
+  std::vector<double> fork_bandwidths_;
+  TreeSearchConfig config_;
+  controller::PartitionController partition_;
+  controller::CompressionController compression_;
+};
+
+}  // namespace cadmc::tree

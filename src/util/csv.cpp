@@ -1,0 +1,72 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace cadmc::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+void CsvWriter::add_row(const std::vector<double>& cells) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream ss;
+    ss << v;
+    row.push_back(ss.str());
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream ss;
+  auto emit = [&ss](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) ss << ",";
+      ss << row[i];
+    }
+    ss << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return ss.str();
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    std::istringstream cell_stream(line);
+    std::string cell;
+    while (std::getline(cell_stream, cell, ',')) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace cadmc::util

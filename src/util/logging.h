@@ -1,0 +1,45 @@
+// Minimal leveled logger. Thread-safe, no global mutable configuration beyond
+// the level, deterministic output format suitable for test greps.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cadmc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that will be emitted. Defaults to kWarn so tests
+/// and benches stay quiet unless they opt in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr: "[LEVEL] message".
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+
+}  // namespace cadmc::util

@@ -1,0 +1,59 @@
+#include "util/string_util.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cadmc::util {
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::ostringstream ss;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) ss << sep;
+    ss << parts[i];
+  }
+  return ss.str();
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string format_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace cadmc::util

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cadmc::util {
+
+std::vector<std::string> split(const std::string& s, char delim);
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+std::string trim(const std::string& s);
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// printf-style double formatting with fixed decimals.
+std::string format_double(double v, int decimals);
+
+/// FNV-1a over a string — used for the search memoization pool keys.
+std::uint64_t fnv1a(const std::string& s);
+
+}  // namespace cadmc::util

@@ -1,0 +1,104 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cadmc::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  std::ostringstream ss;
+  auto rule = [&] {
+    ss << "+";
+    for (std::size_t w : widths) ss << std::string(w + 2, '-') << "+";
+    ss << "\n";
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    ss << "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      ss << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    ss << "\n";
+  };
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+  return ss.str();
+}
+
+std::string sparkline(const std::vector<double>& ys) {
+  static const char* kBars[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (ys.empty()) return "";
+  double lo = ys.front(), hi = ys.front();
+  for (double y : ys) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  const double range = hi - lo;
+  std::string out;
+  for (double y : ys) {
+    int idx = range > 0 ? static_cast<int>((y - lo) / range * 7.999) : 0;
+    idx = std::clamp(idx, 0, 7);
+    out += kBars[idx];
+  }
+  return out;
+}
+
+std::string ascii_chart(const std::vector<double>& ys, int rows, int cols) {
+  if (ys.empty() || rows <= 0 || cols <= 0) return "";
+  // Downsample to `cols` points by averaging buckets.
+  std::vector<double> pts;
+  pts.reserve(static_cast<std::size_t>(cols));
+  const double step = static_cast<double>(ys.size()) / cols;
+  for (int c = 0; c < cols; ++c) {
+    const std::size_t b = static_cast<std::size_t>(c * step);
+    const std::size_t e =
+        std::min(ys.size(), static_cast<std::size_t>((c + 1) * step) + 1);
+    double s = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = b; i < e; ++i, ++n) s += ys[i];
+    pts.push_back(n ? s / static_cast<double>(n) : ys.back());
+  }
+  double lo = pts.front(), hi = pts.front();
+  for (double p : pts) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  const double range = hi - lo > 0 ? hi - lo : 1.0;
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(cols), ' '));
+  for (int c = 0; c < cols; ++c) {
+    int r = static_cast<int>((pts[static_cast<std::size_t>(c)] - lo) / range *
+                             (rows - 1));
+    r = std::clamp(r, 0, rows - 1);
+    grid[static_cast<std::size_t>(rows - 1 - r)][static_cast<std::size_t>(c)] = '*';
+  }
+  std::ostringstream ss;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%10.2f", hi);
+  ss << buf << " ┤" << grid.front() << "\n";
+  for (int r = 1; r + 1 < rows; ++r)
+    ss << std::string(10, ' ') << " │" << grid[static_cast<std::size_t>(r)] << "\n";
+  std::snprintf(buf, sizeof(buf), "%10.2f", lo);
+  ss << buf << " ┤" << grid.back() << "\n";
+  return ss.str();
+}
+
+}  // namespace cadmc::util

@@ -1,0 +1,28 @@
+// ASCII table / sparkline rendering for the bench binaries, so every paper
+// table and figure prints in a shape directly comparable to the publication.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cadmc::util {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a numeric series as a one-line unicode sparkline (for Fig. 1/7).
+std::string sparkline(const std::vector<double>& ys);
+
+/// Renders a multi-row ASCII line chart of height `rows` (for reward curves).
+std::string ascii_chart(const std::vector<double>& ys, int rows, int cols);
+
+}  // namespace cadmc::util

@@ -1,0 +1,349 @@
+// Table II compression-technique tests: applicability rules, structural
+// effects (shape preservation, MACC/parameter reduction), weight
+// faithfulness (F1 approximates the original function), pruning rewiring,
+// and registry plan application.
+#include <gtest/gtest.h>
+
+#include "compress/registry.h"
+#include "nn/activation.h"
+#include "nn/composite.h"
+#include "nn/conv.h"
+#include "nn/factory.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+
+namespace cadmc::compress {
+namespace {
+
+using nn::Model;
+using nn::Shape;
+using tensor::Tensor;
+
+Model conv_chain(std::uint64_t seed = 60) {
+  util::Rng rng(seed);
+  Model m({16, 8, 8});
+  m.add(std::make_unique<nn::Conv2d>(16, 32, 3, 1, 1, rng));
+  m.add(std::make_unique<nn::ReLU>());
+  m.add(std::make_unique<nn::Conv2d>(32, 32, 3, 1, 1, rng));
+  m.add(std::make_unique<nn::ReLU>());
+  m.add(std::make_unique<nn::Flatten>());
+  m.add(std::make_unique<nn::Linear>(32 * 8 * 8, 64, rng));
+  m.add(std::make_unique<nn::ReLU>());
+  m.add(std::make_unique<nn::Linear>(64, 10, rng));
+  return m;
+}
+
+TEST(TechniqueNames, AllDistinct) {
+  for (int a = 0; a < kTechniqueCount; ++a)
+    for (int b = a + 1; b < kTechniqueCount; ++b)
+      EXPECT_NE(technique_name(static_cast<TechniqueId>(a)),
+                technique_name(static_cast<TechniqueId>(b)));
+  EXPECT_EQ(technique_short_name(TechniqueId::kF1Svd), "F1");
+  EXPECT_EQ(technique_short_name(TechniqueId::kW1FilterPrune), "W1");
+}
+
+TEST(Svd, ApplicableOnlyToLargeEnoughFc) {
+  Model m = conv_chain();
+  SvdTransform svd;
+  EXPECT_FALSE(svd.applicable(m, 0));  // conv
+  EXPECT_FALSE(svd.applicable(m, 1));  // relu
+  EXPECT_TRUE(svd.applicable(m, 5));   // 2048 -> 64
+  EXPECT_TRUE(svd.applicable(m, 7));   // 64 -> 10
+}
+
+TEST(Svd, ReducesParamsKeepsShape) {
+  Model m = conv_chain();
+  const Shape out_before = m.boundary_shapes().back();
+  const std::int64_t params_before = m.param_count();
+  util::Rng rng(61);
+  SvdTransform svd(0.25);
+  ASSERT_TRUE(svd.apply(m, 5, rng));
+  EXPECT_EQ(m.boundary_shapes().back(), out_before);
+  EXPECT_LT(m.param_count(), params_before);
+}
+
+TEST(Svd, FaithfulWeightsApproximateFunction) {
+  util::Rng rng(62);
+  Model m({64});
+  m.add(std::make_unique<nn::Linear>(64, 32, rng));
+  // Make the weight approximately low-rank so rank-16 SVD is accurate.
+  auto& fc = dynamic_cast<nn::Linear&>(m.layer(0));
+  const Tensor u = Tensor::randn({32, 8}, rng);
+  const Tensor v = Tensor::randn({8, 64}, rng);
+  fc.weight() = tensor::matmul(u, v);
+  const Tensor x = Tensor::randn({4, 64}, rng);
+  const Tensor y_before = m.forward(x);
+
+  SvdTransform svd(0.5);  // rank 16 >= true rank 8
+  ASSERT_TRUE(svd.apply(m, 0, rng));
+  const Tensor y_after = m.forward(x);
+  EXPECT_LT(Tensor::max_abs_diff(y_before, y_after) / y_before.abs_max(), 0.01f);
+}
+
+TEST(Svd, UnfaithfulModeKeepsStructureOnly) {
+  util::Rng rng(63);
+  Model m({64});
+  m.add(std::make_unique<nn::Linear>(64, 32, rng));
+  const Tensor x = Tensor::randn({1, 64}, rng);
+  const Tensor y_before = m.forward(x);
+  SvdTransform svd(0.25, /*faithful=*/false);
+  ASSERT_TRUE(svd.apply(m, 0, rng));
+  EXPECT_EQ(m.boundary_shapes().back(), (Shape{32}));
+  // Weights are placeholders: the function changes.
+  EXPECT_GT(Tensor::max_abs_diff(y_before, m.forward(x)), 0.01f);
+}
+
+TEST(Ksvd, SparsifiesFactors) {
+  Model m = conv_chain();
+  util::Rng rng(64);
+  KsvdTransform ksvd(0.25, 0.4);
+  ASSERT_TRUE(ksvd.apply(m, 5, rng));
+  // The replacement block holds two Linears; both should be sparse.
+  auto* block = dynamic_cast<nn::SequentialBlock*>(&m.layer(5));
+  ASSERT_NE(block, nullptr);
+  auto* first = dynamic_cast<nn::Linear*>(&block->layer(0));
+  ASSERT_NE(first, nullptr);
+  EXPECT_GT(first->sparsity(), 0.5);
+}
+
+TEST(Ksvd, MaccFollowsSpecNotSparsity) {
+  // MACC model counts the dense factor shapes (Eqn. 5); KSVD reduces size
+  // via rank exactly like SVD.
+  Model m1 = conv_chain(), m2 = conv_chain();
+  util::Rng rng(65);
+  SvdTransform svd(0.25);
+  KsvdTransform ksvd(0.25, 0.4);
+  ASSERT_TRUE(svd.apply(m1, 5, rng));
+  ASSERT_TRUE(ksvd.apply(m2, 5, rng));
+  EXPECT_EQ(m1.total_macc(), m2.total_macc());
+}
+
+TEST(Gap, ApplicableOnlyAtFirstFcAfterFlatten) {
+  Model m = conv_chain();
+  GapTransform gap;
+  EXPECT_TRUE(gap.applicable(m, 5));
+  EXPECT_FALSE(gap.applicable(m, 7));  // not preceded by Flatten
+  EXPECT_FALSE(gap.applicable(m, 0));
+}
+
+TEST(Gap, ReplacesTailWithConvAndPooling) {
+  Model m = conv_chain();
+  util::Rng rng(66);
+  GapTransform gap;
+  ASSERT_TRUE(gap.apply(m, 5, rng));
+  // Tail is now ... conv1x1 -> gap; output still 10 classes.
+  EXPECT_EQ(m.boundary_shapes().back(), (Shape{10}));
+  EXPECT_EQ(m.layer(m.size() - 1).spec().type, "gap");
+  const Tensor x = Tensor::randn({1, 16, 8, 8}, rng, 0.3f);
+  EXPECT_EQ(m.forward(x).shape(), (tensor::Shape{1, 10}));
+}
+
+TEST(Gap, MassiveParamReduction) {
+  Model m = conv_chain();
+  const std::int64_t before = m.param_count();
+  util::Rng rng(67);
+  GapTransform gap;
+  ASSERT_TRUE(gap.apply(m, 5, rng));
+  EXPECT_LT(m.param_count(), before / 3);
+}
+
+TEST(MobileNet, ReplacesConvWithDepthwiseSeparable) {
+  Model m = conv_chain();
+  const std::int64_t macc_before = m.total_macc();
+  const Shape shape_before = m.shape_after(0);
+  util::Rng rng(68);
+  MobileNetTransform c1;
+  ASSERT_TRUE(c1.apply(m, 0, rng));
+  EXPECT_EQ(m.shape_after(0), shape_before);
+  EXPECT_LT(m.total_macc(), macc_before);
+  EXPECT_EQ(m.layer(0).name(), "conv_dws");
+}
+
+TEST(MobileNet, NotApplicableToSmallOr1x1Convs) {
+  util::Rng rng(69);
+  Model m({4, 8, 8});
+  m.add(std::make_unique<nn::Conv2d>(4, 8, 3, 1, 1, rng));    // too few channels
+  m.add(std::make_unique<nn::Conv2d>(8, 16, 1, 1, 0, rng));   // 1x1
+  MobileNetTransform c1;
+  EXPECT_FALSE(c1.applicable(m, 0));
+  EXPECT_FALSE(c1.applicable(m, 1));
+}
+
+TEST(MobileNetV2, PreservesShapeReducesMacc) {
+  Model m = conv_chain();
+  const auto shapes_before = m.boundary_shapes();
+  const std::int64_t macc_before = m.layer_maccs()[2];
+  util::Rng rng(70);
+  MobileNetV2Transform c2;
+  ASSERT_TRUE(c2.apply(m, 2, rng));
+  EXPECT_EQ(m.shape_after(2), shapes_before[3]);
+  EXPECT_LT(m.layer_maccs()[2], macc_before);
+}
+
+TEST(SqueezeNet, FirePreservesChannelsReducesMacc) {
+  Model m = conv_chain();
+  const std::int64_t macc_before = m.layer_maccs()[2];
+  util::Rng rng(71);
+  SqueezeNetTransform c3;
+  ASSERT_TRUE(c3.apply(m, 2, rng));
+  EXPECT_EQ(m.layer(2).name(), "fire");
+  EXPECT_EQ(m.shape_after(2)[0], 32);
+  EXPECT_LT(m.layer_maccs()[2], macc_before);
+}
+
+TEST(SqueezeNet, RequiresStrideOnePadded) {
+  util::Rng rng(72);
+  Model m({16, 8, 8});
+  m.add(std::make_unique<nn::Conv2d>(16, 32, 3, 2, 1, rng));  // stride 2
+  SqueezeNetTransform c3;
+  EXPECT_FALSE(c3.applicable(m, 0));
+}
+
+TEST(FilterPrune, RemovesLowSaliencyFiltersAndRewires) {
+  Model m = conv_chain();
+  auto& conv0 = dynamic_cast<nn::Conv2d&>(m.layer(0));
+  // Make filters 0..7 tiny so they are pruned first.
+  for (int f = 0; f < 8; ++f)
+    for (int c = 0; c < 16; ++c)
+      for (int k = 0; k < 9; ++k)
+        conv0.weight().at((f * 16 + c) * 9 + k) *= 1e-4f;
+  util::Rng rng(73);
+  FilterPruneTransform w1(0.25);  // prune 8 of 32
+  ASSERT_TRUE(w1.applicable(m, 0));
+  ASSERT_TRUE(w1.apply(m, 0, rng));
+  EXPECT_EQ(dynamic_cast<nn::Conv2d&>(m.layer(0)).out_channels(), 24);
+  EXPECT_EQ(dynamic_cast<nn::Conv2d&>(m.layer(2)).in_channels(), 24);
+  // The model still runs end to end.
+  const Tensor x = Tensor::randn({1, 16, 8, 8}, rng, 0.3f);
+  EXPECT_EQ(m.forward(x).shape(), (tensor::Shape{1, 10}));
+}
+
+TEST(FilterPrune, PrunedOutputCloseToOriginal) {
+  // With near-zero filters pruned, the consumer's view barely changes.
+  Model m = conv_chain(74);
+  auto& conv0 = dynamic_cast<nn::Conv2d&>(m.layer(0));
+  for (int f = 0; f < 8; ++f)
+    for (int i = 0; i < 16 * 9; ++i)
+      conv0.weight().at(f * 16 * 9 + i) = 0.0f;
+  conv0.bias().fill(0.0f);
+  util::Rng rng(75);
+  const Tensor x = Tensor::randn({1, 16, 8, 8}, rng, 0.3f);
+  const Tensor y_before = m.forward(x);
+  FilterPruneTransform w1(0.25);
+  ASSERT_TRUE(w1.apply(m, 0, rng));
+  const Tensor y_after = m.forward(x);
+  EXPECT_LT(Tensor::max_abs_diff(y_before, y_after), 1e-4f);
+}
+
+TEST(FilterPrune, NotApplicableWithoutDownstreamConv) {
+  Model m = conv_chain();
+  FilterPruneTransform w1;
+  // Layer 2's output feeds flatten+fc, not a conv.
+  EXPECT_FALSE(w1.applicable(m, 2));
+}
+
+TEST(Registry, CatalogContainsAllSeven) {
+  TechniqueRegistry registry;
+  EXPECT_EQ(registry.all().size(), 7u);
+  EXPECT_EQ(registry.technique(TechniqueId::kF3Gap).id(), TechniqueId::kF3Gap);
+  EXPECT_THROW(registry.technique(TechniqueId::kNone), std::invalid_argument);
+}
+
+TEST(Registry, ApplicableAlwaysIncludesNoneFirst) {
+  TechniqueRegistry registry;
+  const Model m = conv_chain();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const auto ids = registry.applicable(m, i);
+    ASSERT_FALSE(ids.empty());
+    EXPECT_EQ(ids.front(), TechniqueId::kNone);
+  }
+}
+
+TEST(Registry, ConvLayersOfferConvTechniques) {
+  TechniqueRegistry registry;
+  const Model m = conv_chain();
+  const auto ids = registry.applicable(m, 2);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), TechniqueId::kC1MobileNet), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), TechniqueId::kC3SqueezeNet), ids.end());
+  EXPECT_EQ(std::find(ids.begin(), ids.end(), TechniqueId::kF1Svd), ids.end());
+}
+
+TEST(Registry, ApplyPlanBackToFrontHandlesIndexShifts) {
+  Model m = conv_chain();
+  util::Rng rng(76);
+  TechniqueRegistry registry;
+  std::vector<TechniqueId> plan(m.size(), TechniqueId::kNone);
+  plan[0] = TechniqueId::kC1MobileNet;  // replaces layer 0 with a block
+  plan[5] = TechniqueId::kF1Svd;        // fc at index 5
+  EXPECT_EQ(registry.apply_plan(plan, m, rng), 2);
+  // Model still produces 10 classes.
+  EXPECT_EQ(m.boundary_shapes().back(), (Shape{10}));
+}
+
+TEST(Registry, ApplyPlanSizeMismatchThrows) {
+  Model m = conv_chain();
+  util::Rng rng(77);
+  TechniqueRegistry registry;
+  EXPECT_THROW(registry.apply_plan({TechniqueId::kNone}, m, rng),
+               std::invalid_argument);
+}
+
+TEST(Registry, NoneIsSuccessfulNoop) {
+  Model m = conv_chain();
+  util::Rng rng(78);
+  TechniqueRegistry registry;
+  EXPECT_TRUE(registry.apply(TechniqueId::kNone, m, 0, rng));
+  EXPECT_EQ(m.size(), conv_chain().size());
+}
+
+TEST(Registry, ExtensionsGatedBehindFlag) {
+  TechniqueRegistry paper;          // Table II only
+  TechniqueRegistry extended(true, true);
+  EXPECT_EQ(paper.all().size(), 7u);
+  EXPECT_EQ(extended.all().size(), 8u);
+  EXPECT_THROW(paper.technique(TechniqueId::kQ1Quantize),
+               std::invalid_argument);
+  EXPECT_EQ(extended.technique(TechniqueId::kQ1Quantize).id(),
+            TechniqueId::kQ1Quantize);
+}
+
+TEST(Registry, Vgg11EveryTechniqueApplicableSomewhere) {
+  TechniqueRegistry registry(true, true);  // include the Q1 extension
+  const Model m = nn::make_vgg11();
+  bool seen[kTechniqueCount] = {};
+  for (std::size_t i = 0; i < m.size(); ++i)
+    for (TechniqueId id : registry.applicable(m, i))
+      seen[static_cast<int>(id)] = true;
+  for (int t = 0; t < kTechniqueCount; ++t)
+    EXPECT_TRUE(seen[t]) << technique_name(static_cast<TechniqueId>(t));
+}
+
+/// Property sweep: every applicable technique preserves the model's final
+/// output shape when applied anywhere in VGG11.
+class TechniqueSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TechniqueSweep, PreservesFinalOutputShapeOnVgg11) {
+  const TechniqueId id = static_cast<TechniqueId>(GetParam());
+  TechniqueRegistry registry(true, true);  // include the Q1 extension
+  util::Rng rng(80 + GetParam());
+  const Model base = nn::make_vgg11();
+  int applied = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (!registry.technique(id).applicable(base, i)) continue;
+    Model m = base;
+    ASSERT_TRUE(registry.apply(id, m, i, rng));
+    EXPECT_EQ(m.boundary_shapes().back(), (Shape{10}))
+        << technique_name(id) << " at layer " << i;
+    EXPECT_LE(m.param_count(), base.param_count())
+        << technique_name(id) << " should not grow params at layer " << i;
+    ++applied;
+    if (applied >= 3) break;  // bound runtime; 3 sites per technique
+  }
+  EXPECT_GT(applied, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechniques, TechniqueSweep,
+                         ::testing::Range(1, kTechniqueCount));
+
+}  // namespace
+}  // namespace cadmc::compress

@@ -1,0 +1,278 @@
+// Controller tests: LSTM forward/backward (numerical gradient check),
+// bidirectional wiring, layer embedding, masked softmax policies, and
+// REINFORCE learning on bandit problems for both controllers (Fig. 6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "controller/controllers.h"
+#include "controller/lstm.h"
+#include "nn/factory.h"
+
+namespace cadmc::controller {
+namespace {
+
+TEST(Lstm, OutputShape) {
+  util::Rng rng(1);
+  Lstm lstm(5, 7, rng);
+  const Tensor hs = lstm.forward(Tensor::randn({4, 5}, rng));
+  EXPECT_EQ(hs.shape(), (tensor::Shape{4, 7}));
+}
+
+TEST(Lstm, HiddenStatesBounded) {
+  util::Rng rng(2);
+  Lstm lstm(3, 6, rng);
+  const Tensor hs = lstm.forward(Tensor::randn({10, 3}, rng, 5.0f));
+  // h = o * tanh(c) with o in (0,1): |h| < 1.
+  EXPECT_LT(hs.abs_max(), 1.0f);
+}
+
+TEST(Lstm, StateCarriesInformationAcrossTime) {
+  // A distinctive first input should change the last hidden state.
+  util::Rng rng(3);
+  Lstm lstm(2, 8, rng);
+  Tensor a({6, 2}), b({6, 2});
+  a(0, 0) = 5.0f;
+  b(0, 0) = -5.0f;
+  const Tensor ha = lstm.forward(a);
+  const Tensor hb = lstm.forward(b);
+  float diff = 0.0f;
+  for (int j = 0; j < 8; ++j) diff += std::fabs(ha(5, j) - hb(5, j));
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(Lstm, GradientCheckThroughTime) {
+  util::Rng rng(4);
+  Lstm lstm(3, 4, rng);
+  const Tensor xs = Tensor::randn({5, 3}, rng);
+  const Tensor hs = lstm.forward(xs);
+  // Smooth loss: sum of squares of all hidden states.
+  Tensor grad_hs = hs;
+  grad_hs.scale_(2.0f);
+  lstm.zero_grad();
+  const Tensor grad_xs = lstm.backward(grad_hs);
+
+  auto loss = [&](const Tensor& x) {
+    const Tensor y = lstm.forward(x);
+    double s = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i)
+      s += static_cast<double>(y.at(i)) * y.at(i);
+    return s;
+  };
+  const float eps = 1e-3f;
+  util::Rng pick(5);
+  for (int check = 0; check < 8; ++check) {
+    Tensor xp = xs, xm = xs;
+    const std::int64_t i = static_cast<std::int64_t>(
+        pick.uniform_index(static_cast<std::uint64_t>(xs.numel())));
+    xp.at(i) += eps;
+    xm.at(i) -= eps;
+    const double numeric = (loss(xp) - loss(xm)) / (2 * eps);
+    EXPECT_NEAR(grad_xs.at(i), numeric,
+                std::max(2e-3, 0.03 * std::fabs(numeric)));
+  }
+  // Parameter gradients.
+  lstm.forward(xs);
+  lstm.zero_grad();
+  lstm.backward(grad_hs);
+  auto params = lstm.params();
+  auto grads = lstm.grads();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (int check = 0; check < 3; ++check) {
+      Tensor& w = *params[p];
+      const std::int64_t i = static_cast<std::int64_t>(
+          pick.uniform_index(static_cast<std::uint64_t>(w.numel())));
+      const float orig = w.at(i);
+      w.at(i) = orig + eps;
+      const double lp = loss(xs);
+      w.at(i) = orig - eps;
+      const double lm = loss(xs);
+      w.at(i) = orig;
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(grads[p]->at(i), numeric,
+                  std::max(5e-3, 0.05 * std::fabs(numeric)))
+          << "param " << p;
+    }
+  }
+}
+
+TEST(BiLstm, ConcatenatesBothDirections) {
+  util::Rng rng(6);
+  BiLstm bilstm(3, 5, rng);
+  EXPECT_EQ(bilstm.output_dim(), 10);
+  const Tensor hs = bilstm.forward(Tensor::randn({4, 3}, rng));
+  EXPECT_EQ(hs.shape(), (tensor::Shape{4, 10}));
+}
+
+TEST(BiLstm, BackwardHalfSeesFuture) {
+  // Changing the LAST input must change the FIRST position's output via the
+  // reverse direction.
+  util::Rng rng(7);
+  BiLstm bilstm(2, 4, rng);
+  Tensor a({5, 2}), b({5, 2});
+  a(4, 0) = 3.0f;
+  b(4, 0) = -3.0f;
+  const Tensor ha = bilstm.forward(a);
+  const Tensor hb = bilstm.forward(b);
+  float diff_fwd = 0.0f, diff_bwd = 0.0f;
+  for (int j = 0; j < 4; ++j) {
+    diff_fwd += std::fabs(ha(0, j) - hb(0, j));       // forward half
+    diff_bwd += std::fabs(ha(0, 4 + j) - hb(0, 4 + j));  // backward half
+  }
+  EXPECT_EQ(diff_fwd, 0.0f);   // forward LSTM cannot see the future
+  EXPECT_GT(diff_bwd, 1e-4f);  // backward LSTM can
+}
+
+TEST(BiLstm, GradientFlowsToAllInputs) {
+  util::Rng rng(8);
+  BiLstm bilstm(2, 3, rng);
+  const Tensor xs = Tensor::randn({4, 2}, rng);
+  const Tensor hs = bilstm.forward(xs);
+  Tensor grad = Tensor::ones(hs.shape());
+  const Tensor gx = bilstm.backward(grad);
+  EXPECT_EQ(gx.shape(), xs.shape());
+  for (int t = 0; t < 4; ++t) {
+    float row = 0.0f;
+    for (int j = 0; j < 2; ++j) row += std::fabs(gx(t, j));
+    EXPECT_GT(row, 0.0f) << "no gradient at position " << t;
+  }
+}
+
+TEST(Embedder, ShapeAndTypeBuckets) {
+  const nn::Model m = nn::make_vgg11();
+  const Tensor f = LayerEmbedder::embed(m, 5.0);
+  EXPECT_EQ(f.dim(0), static_cast<int>(m.size()));
+  EXPECT_EQ(f.dim(1), LayerEmbedder::kDim);
+  // Layer 0 is a conv: bucket 0 hot.
+  EXPECT_EQ(f(0, 0), 1.0f);
+  EXPECT_EQ(LayerEmbedder::type_bucket("fc"), 5);
+  EXPECT_EQ(LayerEmbedder::type_bucket("unknown_thing"), 11);
+}
+
+TEST(Embedder, BandwidthFeatureMonotone) {
+  const nn::Model m = nn::make_mlp(4, 8, 2);
+  const Tensor lo = LayerEmbedder::embed(m, 1.0);
+  const Tensor hi = LayerEmbedder::embed(m, 50.0);
+  EXPECT_LT(lo(0, LayerEmbedder::kTypeBuckets + 4),
+            hi(0, LayerEmbedder::kTypeBuckets + 4));
+}
+
+TEST(Embedder, EmbedRangeMatchesSliceEmbedding) {
+  const nn::Model m = nn::make_vgg11();
+  const Tensor full = LayerEmbedder::embed(m, 3.0);
+  const Tensor range = LayerEmbedder::embed_range(m, 2, 7, 3.0);
+  ASSERT_EQ(range.dim(0), 5);
+  for (int t = 0; t < 5; ++t)
+    for (int k = 0; k < LayerEmbedder::kDim; ++k)
+      ASSERT_EQ(range(t, k), full(t + 2, k));
+}
+
+TEST(PartitionCtrl, PolicySumsToOneWithLPlusOneActions) {
+  PartitionController ctrl(8, 11);
+  const nn::Model m = nn::make_mlp(4, 8, 2);  // 3 layers
+  const Tensor f = LayerEmbedder::embed(m, 2.0);
+  const auto probs = ctrl.policy(f);
+  ASSERT_EQ(probs.size(), 4u);  // L + 1 = 3 + 1
+  double sum = 0.0;
+  for (double p : probs) {
+    EXPECT_GT(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PartitionCtrl, LearnsRewardedAction) {
+  // Bandit: reward +1 for action 2, -1 otherwise. The policy should
+  // concentrate on action 2.
+  PartitionController ctrl(8, 12);
+  const nn::Model m = nn::make_mlp(4, 8, 2);
+  const Tensor f = LayerEmbedder::embed(m, 2.0);
+  util::Rng rng(13);
+  for (int episode = 0; episode < 150; ++episode) {
+    const auto sample = ctrl.sample(f, rng);
+    const double reward = sample.action == 2 ? 1.0 : -1.0;
+    ctrl.zero_grad();
+    ctrl.accumulate_grad(f, sample.action, reward);  // positive advantage reinforces
+    ctrl.step();
+  }
+  const auto probs = ctrl.policy(f);
+  EXPECT_GT(probs[2], 0.6) << "policy failed to concentrate";
+}
+
+TEST(CompressionCtrl, MaskedActionsHaveZeroProbability) {
+  CompressionController ctrl(8, 8, 14);
+  const nn::Model m = nn::make_mlp(4, 8, 2);
+  const Tensor f = LayerEmbedder::embed(m, 2.0);
+  const std::vector<std::vector<int>> masks{{0, 1, 3}, {0}, {0, 7}};
+  const auto policies = ctrl.policies(f, masks);
+  ASSERT_EQ(policies.size(), 3u);
+  EXPECT_EQ(policies[0][2], 0.0);
+  EXPECT_EQ(policies[0][4], 0.0);
+  EXPECT_NEAR(policies[1][0], 1.0, 1e-9);  // only None allowed
+  EXPECT_GT(policies[2][7], 0.0);
+  for (const auto& p : policies) {
+    double sum = 0.0;
+    for (double v : p) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(CompressionCtrl, EmptyMaskMeansNoneOnly) {
+  CompressionController ctrl(8, 8, 15);
+  const nn::Model m = nn::make_mlp(4, 8, 2);
+  const Tensor f = LayerEmbedder::embed(m, 2.0);
+  const std::vector<std::vector<int>> masks{{}, {}, {}};
+  util::Rng rng(16);
+  const auto samples = ctrl.sample(f, masks, rng);
+  for (const auto& s : samples) EXPECT_EQ(s.action, 0);
+}
+
+TEST(CompressionCtrl, StartsWithDoNothingPrior) {
+  CompressionController ctrl(8, 8, 17);
+  const nn::Model m = nn::make_vgg11();
+  const Tensor f = LayerEmbedder::embed(m, 2.0);
+  std::vector<std::vector<int>> masks(m.size(), std::vector<int>{0, 1, 4, 5});
+  const auto policies = ctrl.policies(f, masks);
+  for (const auto& p : policies) EXPECT_GT(p[0], 0.4);
+}
+
+TEST(CompressionCtrl, LearnsPerLayerRewardedActions) {
+  // Reward +1 iff layer 0 picks action 1 and layer 2 picks action 4.
+  CompressionController ctrl(8, 8, 18);
+  const nn::Model m = nn::make_mlp(4, 8, 2);
+  const Tensor f = LayerEmbedder::embed(m, 2.0);
+  const std::vector<std::vector<int>> masks{{0, 1}, {0}, {0, 4}};
+  util::Rng rng(19);
+  double baseline = 0.0;
+  for (int episode = 0; episode < 800; ++episode) {
+    const auto samples = ctrl.sample(f, masks, rng);
+    const double reward =
+        (samples[0].action == 1 && samples[2].action == 4) ? 1.0 : -1.0;
+    const double advantage = reward - baseline;
+    baseline = 0.9 * baseline + 0.1 * reward;
+    std::vector<int> actions{samples[0].action, samples[1].action,
+                             samples[2].action};
+    ctrl.zero_grad();
+    ctrl.accumulate_grad(f, masks, actions, advantage);
+    ctrl.step();
+  }
+  const auto policies = ctrl.policies(f, masks);
+  EXPECT_GT(policies[0][1], 0.6);
+  EXPECT_GT(policies[2][4], 0.6);
+}
+
+TEST(PartitionCtrl, RejectsOutOfRangeAction) {
+  PartitionController ctrl(8, 20);
+  const nn::Model m = nn::make_mlp(4, 8, 2);
+  const Tensor f = LayerEmbedder::embed(m, 2.0);
+  EXPECT_THROW(ctrl.accumulate_grad(f, 99, 1.0), std::out_of_range);
+}
+
+TEST(SampleIndex, RespectsDistribution) {
+  util::Rng rng(21);
+  const std::vector<double> probs{0.0, 1.0, 0.0};
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sample_index(probs, rng), 1);
+}
+
+}  // namespace
+}  // namespace cadmc::controller

@@ -1,0 +1,138 @@
+// DAG-expansion tests: residual models expanded to operator-level DAGs, and
+// the min-cut surgery baseline exercised on true branching graphs (the
+// general case the paper's reference [5] targets).
+#include <gtest/gtest.h>
+
+#include "latency/device_profile.h"
+#include "nn/activation.h"
+#include "nn/composite.h"
+#include "nn/conv.h"
+#include "nn/factory.h"
+#include "nn/pool.h"
+#include "partition/dag_expand.h"
+
+namespace cadmc::partition {
+namespace {
+
+PartitionEvaluator make_evaluator() {
+  latency::TransferModel transfer;
+  transfer.rtt_ms = 12.0;
+  return PartitionEvaluator(
+      latency::ComputeLatencyModel(latency::phone_profile()),
+      latency::ComputeLatencyModel(latency::cloud_profile()), transfer);
+}
+
+nn::Model residual_model(std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  nn::Model m({8, 16, 16});
+  m.add(std::make_unique<nn::Conv2d>(8, 16, 3, 1, 1, rng));
+  m.add(std::make_unique<nn::ReLU>());
+  m.add(std::make_unique<nn::ResidualBlock>(16, 8, 16, 1, true, rng));   // identity skip
+  m.add(std::make_unique<nn::ResidualBlock>(16, 8, 32, 2, true, rng));   // projection
+  m.add(std::make_unique<nn::GlobalAvgPool>());
+  return m;
+}
+
+TEST(DagExpand, ChainModelsStayChains) {
+  const nn::Model m = nn::make_alexnet();
+  const PartitionEvaluator eval = make_evaluator();
+  const DnnDag dag = expand_residual_dag(m, eval);
+  EXPECT_FALSE(has_branches(dag));
+  EXPECT_EQ(dag.nodes.size(), m.size() + 1);
+}
+
+TEST(DagExpand, ResidualBlocksBranch) {
+  const nn::Model m = residual_model();
+  const PartitionEvaluator eval = make_evaluator();
+  const DnnDag dag = expand_residual_dag(m, eval);
+  EXPECT_TRUE(has_branches(dag));
+  // Identity skip node is free; projection node costs compute.
+  double identity_cost = -1.0, proj_cost = -1.0;
+  int merges = 0;
+  for (const auto& node : dag.nodes) {
+    if (node.name.find(":skip") != std::string::npos)
+      identity_cost = node.edge_cost_ms;
+    if (node.name.find(":proj") != std::string::npos)
+      proj_cost = node.edge_cost_ms;
+    merges += node.name.find(":merge") != std::string::npos;
+  }
+  EXPECT_EQ(identity_cost, 0.0);
+  EXPECT_GT(proj_cost, 0.0);
+  EXPECT_EQ(merges, 2);
+}
+
+TEST(DagExpand, EdgeCostApproximatesChainLatency) {
+  // Per-op pricing adds one launch overhead (and a stronger small-layer
+  // boost) per expanded operator, so the DAG's all-edge cost is >= the
+  // monolithic block price but of the same magnitude.
+  const nn::Model m = residual_model(2);
+  const PartitionEvaluator eval = make_evaluator();
+  const DnnDag dag = expand_residual_dag(m, eval);
+  double dag_edge = 0.0;
+  for (const auto& node : dag.nodes) dag_edge += node.edge_cost_ms;
+  const double chain = eval.edge_model().model_latency_ms(m);
+  EXPECT_GE(dag_edge, chain - 1e-9);
+  EXPECT_LT(dag_edge, chain * 2.0);
+}
+
+TEST(DagExpand, MinCutNeverWorseThanItsOwnExtremes) {
+  // The min cut must never exceed the cost of the trivial placements
+  // (all-edge; ship-the-input-then-all-cloud) expressed on the same DAG.
+  const nn::Model m = residual_model(3);
+  const PartitionEvaluator eval = make_evaluator();
+  const DnnDag dag = expand_residual_dag(m, eval);
+  for (double bw : {25.0, 125.0, 600.0, 4000.0}) {
+    const SurgeryResult result = surgery_min_cut(dag, eval.transfer_model(), bw);
+    double all_edge = 0.0, all_cloud = 0.0;
+    for (const auto& node : dag.nodes) {
+      all_edge += node.edge_cost_ms;
+      all_cloud += node.cloud_cost_ms;
+    }
+    all_cloud += eval.transfer_model().latency_ms(dag.nodes[0].output_bytes, bw);
+    EXPECT_LE(result.total_latency_ms,
+              std::min(all_edge, all_cloud) + 1e-6)
+        << "bw " << bw;
+  }
+}
+
+TEST(DagExpand, ExtremeBandwidthsPlaceEverythingOneSide) {
+  const nn::Model m = residual_model(4);
+  // Near-zero RTT so transfer cost vanishes at infinite bandwidth.
+  latency::TransferModel transfer;
+  transfer.rtt_ms = 1e-6;
+  const PartitionEvaluator eval(
+      latency::ComputeLatencyModel(latency::phone_profile()),
+      latency::ComputeLatencyModel(latency::cloud_profile()), transfer);
+  const DnnDag dag = expand_residual_dag(m, eval);
+  // Dead network: everything on the edge.
+  const SurgeryResult on_edge = surgery_min_cut(dag, eval.transfer_model(), 1e-4);
+  for (std::size_t i = 0; i < on_edge.on_edge.size(); ++i)
+    EXPECT_TRUE(on_edge.on_edge[i]) << dag.nodes[i].name;
+  // Infinite network, no RTT: only the input pseudo-node stays.
+  const SurgeryResult offload = surgery_min_cut(dag, eval.transfer_model(), 1e12);
+  for (std::size_t i = 1; i < offload.on_edge.size(); ++i)
+    EXPECT_FALSE(offload.on_edge[i]) << dag.nodes[i].name;
+}
+
+TEST(DagExpand, ResNetScaleDagSolves) {
+  // A full ResNet-50 expansion: ~118 nodes; Dinic must stay fast and the
+  // placement valid (every non-edge node downstream of the cut).
+  const nn::Model m = nn::make_resnet_imagenet(50);
+  const PartitionEvaluator eval = make_evaluator();
+  const DnnDag dag = expand_residual_dag(m, eval);
+  EXPECT_GT(dag.nodes.size(), 100u);
+  EXPECT_TRUE(has_branches(dag));
+  const SurgeryResult result =
+      surgery_min_cut(dag, eval.transfer_model(), 2000.0);
+  EXPECT_GT(result.total_latency_ms, 0.0);
+  // No cloud node may feed an edge node (one-way offload).
+  for (std::size_t i = 0; i < dag.nodes.size(); ++i)
+    for (int succ : dag.nodes[i].successors)
+      EXPECT_FALSE(!result.on_edge[i] &&
+                   result.on_edge[static_cast<std::size_t>(succ)])
+          << dag.nodes[i].name << " -> "
+          << dag.nodes[static_cast<std::size_t>(succ)].name;
+}
+
+}  // namespace
+}  // namespace cadmc::partition

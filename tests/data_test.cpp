@@ -1,0 +1,146 @@
+// SynthCIFAR tests: determinism, batch consistency, label distribution, and
+// class separability (a nearest-class-mean classifier must beat chance by a
+// wide margin — the accuracy/latency trade-off needs a learnable task).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataloader.h"
+#include "data/synth_cifar.h"
+
+namespace cadmc::data {
+namespace {
+
+using tensor::Tensor;
+
+TEST(SynthCifar, DeterministicPerIndex) {
+  SynthCifar d(16, 10, 42);
+  const Example a = d.make_example(5);
+  const Example b = d.make_example(5);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(Tensor::max_abs_diff(a.image, b.image), 0.0f);
+}
+
+TEST(SynthCifar, DifferentIndicesDiffer) {
+  SynthCifar d(16, 10, 42);
+  const Example a = d.make_example(1);
+  const Example b = d.make_example(2);
+  EXPECT_GT(Tensor::max_abs_diff(a.image, b.image), 0.01f);
+}
+
+TEST(SynthCifar, DifferentSeedsDiffer) {
+  SynthCifar d1(16, 10, 1), d2(16, 10, 2);
+  EXPECT_GT(Tensor::max_abs_diff(d1.make_example(0).image,
+                                 d2.make_example(0).image),
+            0.01f);
+}
+
+TEST(SynthCifar, ImageShape) {
+  SynthCifar d(24, 10, 3);
+  EXPECT_EQ(d.make_example(0).image.shape(), (tensor::Shape{3, 24, 24}));
+}
+
+TEST(SynthCifar, LabelsInRangeAndAllClassesAppear) {
+  SynthCifar d(8, 10, 4);
+  bool seen[10] = {};
+  for (int i = 0; i < 300; ++i) {
+    const int label = d.make_example(i).label;
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 10);
+    seen[label] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(SynthCifar, BatchMatchesIndividualExamples) {
+  SynthCifar d(8, 10, 5);
+  const auto batch = d.make_batch(10, 4);
+  EXPECT_EQ(batch.images.shape(), (tensor::Shape{4, 3, 8, 8}));
+  for (int i = 0; i < 4; ++i) {
+    const Example ex = d.make_example(10 + i);
+    EXPECT_EQ(batch.labels[static_cast<std::size_t>(i)], ex.label);
+    for (int c = 0; c < 3; ++c)
+      for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+          ASSERT_EQ(batch.images(i, c, y, x), ex.image(c, y, x));
+  }
+}
+
+TEST(SynthCifar, InvalidParamsThrow) {
+  EXPECT_THROW(SynthCifar(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(SynthCifar(8, 0, 1), std::invalid_argument);
+  SynthCifar d(8, 10, 1);
+  EXPECT_THROW(d.make_batch(0, 0), std::invalid_argument);
+}
+
+TEST(SynthCifar, ClassesSeparableByNearestMean) {
+  // Train nearest-class-mean on 400 examples, test on 200 fresh ones.
+  const int classes = 4, size = 12;
+  SynthCifar d(size, classes, 6, /*noise=*/0.2);
+  const int dim = 3 * size * size;
+  std::vector<std::vector<double>> means(
+      classes, std::vector<double>(static_cast<std::size_t>(dim), 0.0));
+  std::vector<int> counts(classes, 0);
+  for (int i = 0; i < 400; ++i) {
+    const Example ex = d.make_example(i);
+    ++counts[static_cast<std::size_t>(ex.label)];
+    for (int j = 0; j < dim; ++j)
+      means[static_cast<std::size_t>(ex.label)][static_cast<std::size_t>(j)] +=
+          ex.image.at(j);
+  }
+  for (int c = 0; c < classes; ++c)
+    for (int j = 0; j < dim; ++j)
+      means[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)] /=
+          std::max(1, counts[static_cast<std::size_t>(c)]);
+  int correct = 0, total = 0;
+  for (int i = 400; i < 600; ++i) {
+    const Example ex = d.make_example(i);
+    int best = 0;
+    double best_dist = 1e300;
+    for (int c = 0; c < classes; ++c) {
+      double dist = 0.0;
+      for (int j = 0; j < dim; ++j) {
+        const double diff =
+            ex.image.at(j) -
+            means[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)];
+        dist += diff * diff;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    correct += best == ex.label;
+    ++total;
+  }
+  const double acc = static_cast<double>(correct) / total;
+  EXPECT_GT(acc, 0.7) << "nearest-mean accuracy should beat 0.25 chance";
+}
+
+TEST(DataLoader, BatchCountAndWrapping) {
+  SynthCifar d(8, 10, 7);
+  DataLoader loader(d, 0, 100, 32);
+  EXPECT_EQ(loader.batches_per_epoch(), 3);
+  // Batch 3 wraps to batch 0.
+  const auto b0 = loader.batch(0);
+  const auto b3 = loader.batch(3);
+  EXPECT_EQ(b0.labels, b3.labels);
+}
+
+TEST(DataLoader, DisjointRangesServeDisjointData) {
+  SynthCifar d(8, 10, 8);
+  DataLoader train(d, 0, 64, 32);
+  DataLoader eval(d, 64, 128, 32);
+  const auto tb = train.batch(0);
+  const auto eb = eval.batch(0);
+  EXPECT_GT(Tensor::max_abs_diff(tb.images, eb.images), 0.01f);
+}
+
+TEST(DataLoader, InvalidRangeThrows) {
+  SynthCifar d(8, 10, 9);
+  EXPECT_THROW(DataLoader(d, 10, 10, 4), std::invalid_argument);
+  EXPECT_THROW(DataLoader(d, 0, 3, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cadmc::data

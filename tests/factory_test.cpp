@@ -1,0 +1,167 @@
+// Factory tests: architectures produce the expected shapes and MACC budgets
+// (checked against the known operation counts behind Table I), and block
+// slicing produces balanced blocks.
+#include <gtest/gtest.h>
+
+#include "nn/factory.h"
+#include "util/rng.h"
+
+namespace cadmc::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Factory, Vgg11ShapesAndForward) {
+  Model m = make_vgg11();
+  EXPECT_EQ(m.input_shape(), (Shape{3, 32, 32}));
+  EXPECT_EQ(m.boundary_shapes().back(), (Shape{10}));
+  util::Rng rng(1);
+  const Tensor x = Tensor::randn({1, 3, 32, 32}, rng, 0.5f);
+  EXPECT_EQ(m.forward(x).shape(), (Shape{1, 10}));
+}
+
+TEST(Factory, Vgg11MaccBudget) {
+  // VGG-A conv stack at 32x32 is ~153 MMACCs.
+  const Model m = make_vgg11();
+  EXPECT_GT(m.total_macc(), 140'000'000);
+  EXPECT_LT(m.total_macc(), 170'000'000);
+}
+
+TEST(Factory, Vgg11CustomClassCount) {
+  Model m = make_vgg11(5);
+  EXPECT_EQ(m.boundary_shapes().back(), (Shape{5}));
+}
+
+TEST(Factory, AlexNetShapesAndBudget) {
+  Model m = make_alexnet();
+  EXPECT_EQ(m.boundary_shapes().back(), (Shape{10}));
+  // CIFAR AlexNet is far lighter than VGG11.
+  EXPECT_LT(m.total_macc(), make_vgg11().total_macc() / 2);
+  EXPECT_GT(m.total_macc(), 20'000'000);
+  util::Rng rng(2);
+  const Tensor x = Tensor::randn({1, 3, 32, 32}, rng, 0.5f);
+  EXPECT_EQ(m.forward(x).shape(), (Shape{1, 10}));
+}
+
+TEST(Factory, Vgg19ImagenetMaccNear19G) {
+  const Model m = make_vgg19_imagenet();
+  // Published figure: ~19.6 GMACCs at 224x224.
+  EXPECT_GT(m.total_macc(), 18'000'000'000LL);
+  EXPECT_LT(m.total_macc(), 21'000'000'000LL);
+  EXPECT_EQ(m.boundary_shapes().back(), (Shape{1000}));
+}
+
+TEST(Factory, ResNet50MaccNear3p8G) {
+  const Model m = make_resnet_imagenet(50);
+  EXPECT_GT(m.total_macc(), 3'000'000'000LL);
+  EXPECT_LT(m.total_macc(), 4'600'000'000LL);
+}
+
+TEST(Factory, ResNetDepthsOrdered) {
+  const auto m50 = make_resnet_imagenet(50).total_macc();
+  const auto m101 = make_resnet_imagenet(101).total_macc();
+  const auto m152 = make_resnet_imagenet(152).total_macc();
+  EXPECT_LT(m50, m101);
+  EXPECT_LT(m101, m152);
+  // Table I ratios: ResNet101/ResNet50 ~ 2.03, ResNet152/ResNet50 ~ 3.38.
+  EXPECT_NEAR(static_cast<double>(m101) / m50, 2.0, 0.35);
+  EXPECT_NEAR(static_cast<double>(m152) / m50, 3.0, 0.75);
+}
+
+TEST(Factory, ResNetRejectsUnknownDepth) {
+  EXPECT_THROW(make_resnet_imagenet(34), std::invalid_argument);
+}
+
+TEST(Factory, MobileNetShapeAndCompactness) {
+  Model m = make_mobilenet();
+  util::Rng rng(40);
+  const Tensor x = Tensor::randn({1, 3, 32, 32}, rng, 0.3f);
+  EXPECT_EQ(m.forward(x).shape(), (Shape{1, 10}));
+  // Depthwise separable stacks: far fewer MACCs than VGG11.
+  EXPECT_LT(m.total_macc(), make_vgg11().total_macc() / 3);
+  // Contains depthwise convs.
+  bool has_dw = false;
+  for (std::size_t i = 0; i < m.size(); ++i)
+    has_dw |= m.layer(i).name() == "conv_dw";
+  EXPECT_TRUE(has_dw);
+}
+
+TEST(Factory, SqueezeNetShapeAndFireModules) {
+  Model m = make_squeezenet();
+  util::Rng rng(41);
+  const Tensor x = Tensor::randn({1, 3, 32, 32}, rng, 0.3f);
+  EXPECT_EQ(m.forward(x).shape(), (Shape{1, 10}));
+  int fires = 0;
+  for (std::size_t i = 0; i < m.size(); ++i)
+    fires += m.layer(i).name() == "fire";
+  EXPECT_EQ(fires, 4);
+  EXPECT_LT(m.param_count(), make_vgg11().param_count() / 10);
+}
+
+TEST(Factory, TinyCnnTrainsShapeSanity) {
+  Model m = make_tiny_cnn(10, 16);
+  util::Rng rng(3);
+  const Tensor x = Tensor::randn({2, 3, 16, 16}, rng, 0.5f);
+  EXPECT_EQ(m.forward(x).shape(), (Shape{2, 10}));
+}
+
+TEST(Factory, MlpShape) {
+  Model m = make_mlp(8, 4, 3);
+  util::Rng rng(4);
+  EXPECT_EQ(m.forward(Tensor::randn({5, 8}, rng)).shape(), (Shape{5, 3}));
+}
+
+TEST(Factory, DeterministicForSeed) {
+  Model a = make_vgg11(10, 77);
+  Model b = make_vgg11(10, 77);
+  util::Rng rng(5);
+  const Tensor x = Tensor::randn({1, 3, 32, 32}, rng, 0.5f);
+  EXPECT_EQ(Tensor::max_abs_diff(a.forward(x), b.forward(x)), 0.0f);
+}
+
+TEST(BlockBoundaries, ProducesRequestedBlockCount) {
+  const Model m = make_vgg11();
+  const auto b = block_boundaries(m, 3);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_GT(b[0], 0u);
+  EXPECT_LT(b[1], m.size());
+  EXPECT_LT(b[0], b[1]);
+}
+
+TEST(BlockBoundaries, BlocksRoughlyBalancedByMacc) {
+  const Model m = make_vgg11();
+  const auto b = block_boundaries(m, 3);
+  const auto maccs = m.layer_maccs();
+  auto range_macc = [&](std::size_t lo, std::size_t hi) {
+    std::int64_t s = 0;
+    for (std::size_t i = lo; i < hi; ++i) s += maccs[i];
+    return s;
+  };
+  const std::int64_t total = m.total_macc();
+  EXPECT_GT(range_macc(0, b[0]), total / 6);
+  EXPECT_GT(range_macc(b[0], b[1]), total / 6);
+}
+
+TEST(BlockBoundaries, SingleBlockIsEmpty) {
+  EXPECT_TRUE(block_boundaries(make_vgg11(), 1).empty());
+}
+
+TEST(BlockBoundaries, ZeroBlocksThrows) {
+  EXPECT_THROW(block_boundaries(make_vgg11(), 0), std::invalid_argument);
+}
+
+class BlockCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlockCountSweep, StrictlyIncreasingBoundaries) {
+  const Model m = make_vgg11();
+  const auto b = block_boundaries(m, GetParam());
+  EXPECT_EQ(b.size(), GetParam() - 1);
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) EXPECT_LT(b[i], b[i + 1]);
+  for (std::size_t v : b) EXPECT_LT(v, m.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, BlockCountSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace cadmc::nn

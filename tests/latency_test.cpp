@@ -1,0 +1,212 @@
+// Latency-model tests: MACC profiling (Eqns. 4-5), device profiles
+// (including Table I calibration), compute-latency composition, and the
+// transfer-latency model of Eqn. (6) with its least-squares fitter.
+#include <gtest/gtest.h>
+
+#include "latency/compute_model.h"
+#include "latency/device_profile.h"
+#include "latency/macc.h"
+#include "latency/transfer_model.h"
+#include "nn/factory.h"
+#include "util/rng.h"
+
+namespace cadmc::latency {
+namespace {
+
+TEST(MaccProfile, PrefixSumsConsistent) {
+  const nn::Model m = nn::make_vgg11();
+  const MaccProfile p = profile_model(m);
+  ASSERT_EQ(p.layer_maccs.size(), m.size());
+  ASSERT_EQ(p.prefix_maccs.size(), m.size() + 1);
+  EXPECT_EQ(p.prefix_maccs.front(), 0);
+  EXPECT_EQ(p.prefix_maccs.back(), p.total_macc);
+  EXPECT_EQ(p.range_macc(0, m.size()), p.total_macc);
+  EXPECT_EQ(p.range_macc(3, 3), 0);
+  EXPECT_THROW(p.range_macc(0, m.size() + 5), std::out_of_range);
+}
+
+TEST(MaccProfile, BoundaryBytesMatchModel) {
+  const nn::Model m = nn::make_alexnet();
+  const MaccProfile p = profile_model(m);
+  EXPECT_EQ(p.boundary_bytes, m.boundary_bytes());
+}
+
+TEST(DeviceProfile, PresetsHaveDistinctSpeeds) {
+  const auto phone = phone_profile();
+  const auto tx2 = tx2_profile();
+  const auto cloud = cloud_profile();
+  EXPECT_GT(phone.conv_coeff(3), tx2.conv_coeff(3));
+  EXPECT_GT(tx2.conv_coeff(3), cloud.conv_coeff(3));
+}
+
+TEST(DeviceProfile, KernelCoefficientFallback) {
+  const auto phone = phone_profile();
+  EXPECT_EQ(phone.conv_coeff(99), phone.conv_coeff_default);
+  EXPECT_NE(phone.conv_coeff(1), phone.conv_coeff(3));
+}
+
+TEST(DeviceProfile, EfficiencyFactorDecreasesWithMacc) {
+  const auto phone = phone_profile();
+  EXPECT_GT(phone.efficiency_factor(1'000'000),
+            phone.efficiency_factor(1'000'000'000));
+  // Asymptotically approaches 1 for huge layers.
+  EXPECT_NEAR(phone.efficiency_factor(100'000'000'000LL), 1.0, 0.01);
+}
+
+TEST(DeviceProfile, ByNameRoundTrip) {
+  EXPECT_EQ(profile_by_name("phone").name, "phone");
+  EXPECT_EQ(profile_by_name("tx2").name, "tx2");
+  EXPECT_EQ(profile_by_name("cloud").name, "cloud");
+  EXPECT_THROW(profile_by_name("toaster"), std::invalid_argument);
+}
+
+TEST(ComputeModel, ZeroMaccLayersAreFree) {
+  const nn::Model m = nn::make_vgg11();
+  ComputeLatencyModel model(phone_profile());
+  // Layer 2 of VGG11 is a MaxPool: negligible per the paper's measurement.
+  nn::Shape s = m.input_shape();
+  s = m.layer(0).output_shape(s);
+  s = m.layer(1).output_shape(s);
+  EXPECT_EQ(model.layer_latency_ms(m.layer(2), s), 0.0);
+}
+
+TEST(ComputeModel, RangeDecomposes) {
+  const nn::Model m = nn::make_vgg11();
+  ComputeLatencyModel model(phone_profile());
+  const double full = model.model_latency_ms(m);
+  const double head = model.range_latency_ms(m, 0, 10);
+  const double tail = model.range_latency_ms(m, 10, m.size());
+  EXPECT_NEAR(full, head + tail, 1e-9);
+}
+
+TEST(ComputeModel, PerLayerSumsToTotal) {
+  const nn::Model m = nn::make_alexnet();
+  ComputeLatencyModel model(tx2_profile());
+  const auto per_layer = model.layer_latencies_ms(m);
+  double sum = 0.0;
+  for (double v : per_layer) sum += v;
+  EXPECT_NEAR(sum, model.model_latency_ms(m), 1e-9);
+}
+
+TEST(ComputeModel, CloudMuchFasterThanPhone) {
+  const nn::Model m = nn::make_vgg11();
+  const double phone = ComputeLatencyModel(phone_profile()).model_latency_ms(m);
+  const double cloud = ComputeLatencyModel(cloud_profile()).model_latency_ms(m);
+  EXPECT_GT(phone / cloud, 5.0);
+}
+
+// Table I calibration: the estimated phone latencies of the 224x224 models
+// must land near the paper's measured values (same order, right magnitude).
+struct TableOneCase {
+  const char* name;
+  double paper_ms;
+};
+
+class TableOneSweep : public ::testing::TestWithParam<TableOneCase> {};
+
+TEST_P(TableOneSweep, PhoneLatencyWithinBand) {
+  const TableOneCase c = GetParam();
+  nn::Model m = std::string(c.name) == "vgg19"
+                    ? nn::make_vgg19_imagenet()
+                    : nn::make_resnet_imagenet(std::string(c.name) == "resnet50"
+                                                   ? 50
+                                                   : std::string(c.name) == "resnet101"
+                                                         ? 101
+                                                         : 152);
+  ComputeLatencyModel model(phone_profile());
+  const double ms = model.model_latency_ms(m);
+  EXPECT_GT(ms, c.paper_ms * 0.5) << c.name;
+  EXPECT_LT(ms, c.paper_ms * 2.0) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOne, TableOneSweep,
+    ::testing::Values(TableOneCase{"vgg19", 5734.89},
+                      TableOneCase{"resnet50", 1103.20},
+                      TableOneCase{"resnet101", 2238.79},
+                      TableOneCase{"resnet152", 3729.10}));
+
+TEST(TableOneOrder, MatchesPaperOrdering) {
+  ComputeLatencyModel model(phone_profile());
+  const double vgg19 = model.model_latency_ms(nn::make_vgg19_imagenet());
+  const double r50 = model.model_latency_ms(nn::make_resnet_imagenet(50));
+  const double r101 = model.model_latency_ms(nn::make_resnet_imagenet(101));
+  const double r152 = model.model_latency_ms(nn::make_resnet_imagenet(152));
+  EXPECT_LT(r50, r101);
+  EXPECT_LT(r101, r152);
+  EXPECT_LT(r152, vgg19);
+}
+
+TEST(TransferModel, UnitConversions) {
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_ms(1.0), 125.0);
+  EXPECT_DOUBLE_EQ(bytes_per_ms_to_mbps(125.0), 1.0);
+  EXPECT_NEAR(bytes_per_ms_to_mbps(mbps_to_bytes_per_ms(7.5)), 7.5, 1e-12);
+}
+
+TEST(TransferModel, ZeroBytesIsFree) {
+  TransferModel tm;
+  EXPECT_EQ(tm.latency_ms(0, 100.0), 0.0);
+}
+
+TEST(TransferModel, RejectsNonPositiveBandwidth) {
+  TransferModel tm;
+  EXPECT_THROW(tm.latency_ms(100, 0.0), std::invalid_argument);
+}
+
+TEST(TransferModel, LinearInSizeGivenBandwidth) {
+  TransferModel tm;
+  const double bw = 250.0;
+  const double t1 = tm.latency_ms(1000, bw);
+  const double t2 = tm.latency_ms(2000, bw);
+  const double t3 = tm.latency_ms(3000, bw);
+  EXPECT_NEAR(t3 - t2, t2 - t1, 1e-9);  // equal increments
+  EXPECT_GT(t1, tm.rtt_ms);             // always pays propagation
+}
+
+TEST(TransferModel, MoreBandwidthIsFaster) {
+  TransferModel tm;
+  EXPECT_LT(tm.latency_ms(100'000, 500.0), tm.latency_ms(100'000, 100.0));
+}
+
+TEST(TransferFit, RecoversParametersFromCleanData) {
+  TransferModel truth;
+  truth.rtt_ms = 17.0;
+  truth.size_coeff = 0.3;
+  std::vector<TransferObservation> obs;
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    TransferObservation o;
+    o.bytes = 1000 + static_cast<std::int64_t>(rng.uniform_index(200000));
+    o.bandwidth_bytes_per_ms = rng.uniform(50.0, 2000.0);
+    o.latency_ms = truth.latency_ms(o.bytes, o.bandwidth_bytes_per_ms);
+    obs.push_back(o);
+  }
+  const TransferFit fit = fit_transfer_model(obs);
+  EXPECT_NEAR(fit.model.rtt_ms, truth.rtt_ms, 0.2);
+  EXPECT_NEAR(fit.model.size_coeff, truth.size_coeff, 0.02);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(TransferFit, NoisyDataStillHighR2) {
+  TransferModel truth;
+  std::vector<TransferObservation> obs;
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    TransferObservation o;
+    o.bytes = 5000 + static_cast<std::int64_t>(rng.uniform_index(500000));
+    o.bandwidth_bytes_per_ms = rng.uniform(100.0, 1000.0);
+    o.latency_ms = truth.latency_ms(o.bytes, o.bandwidth_bytes_per_ms) *
+                   (1.0 + rng.normal(0.0, 0.03));
+    obs.push_back(o);
+  }
+  const TransferFit fit = fit_transfer_model(obs);
+  EXPECT_GT(fit.r2, 0.98);
+}
+
+TEST(TransferFit, RejectsTooFewObservations) {
+  std::vector<TransferObservation> obs(1);
+  EXPECT_THROW(fit_transfer_model(obs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cadmc::latency

@@ -1,0 +1,213 @@
+// Network-context tests: trace access/quantiles/classification, CSV
+// round-trip, trace generation properties per scene, and bandwidth
+// estimation (smoothing + staleness).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "latency/transfer_model.h"
+#include "net/estimator.h"
+#include "net/generator.h"
+#include "net/scenes.h"
+#include "net/trace.h"
+#include "util/stats.h"
+
+namespace cadmc::net {
+namespace {
+
+TEST(Trace, ZeroOrderHoldAndClamping) {
+  BandwidthTrace t(100.0, {10.0, 20.0, 30.0});
+  EXPECT_EQ(t.at(0.0), 10.0);
+  EXPECT_EQ(t.at(150.0), 20.0);
+  EXPECT_EQ(t.at(-50.0), 10.0);
+  EXPECT_EQ(t.at(1e9), 30.0);
+  EXPECT_EQ(t.duration_ms(), 300.0);
+}
+
+TEST(Trace, RejectsInvalidConstruction) {
+  EXPECT_THROW(BandwidthTrace(0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace(10.0, {1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Trace, QuantilesOrdered) {
+  BandwidthTrace t(1.0, {5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(t.quantile(0.0), 1.0);
+  EXPECT_EQ(t.quantile(1.0), 5.0);
+  EXPECT_LE(t.quantile(0.25), t.quantile(0.75));
+  EXPECT_NEAR(t.mean(), 3.0, 1e-12);
+}
+
+TEST(Trace, ClassifyTwoWay) {
+  BandwidthTrace t(1.0, {1.0, 2.0, 3.0, 4.0});  // median 2.5
+  EXPECT_EQ(t.classify(1.0, 2), 0);
+  EXPECT_EQ(t.classify(4.0, 2), 1);
+  EXPECT_EQ(t.classify(99.0, 1), 0);
+}
+
+TEST(Trace, ClassifyThreeWay) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 99; ++i) samples.push_back(static_cast<double>(i));
+  BandwidthTrace t(1.0, samples);
+  EXPECT_EQ(t.classify(10.0, 3), 0);
+  EXPECT_EQ(t.classify(50.0, 3), 1);
+  EXPECT_EQ(t.classify(90.0, 3), 2);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  BandwidthTrace t(50.0, {12.5, 25.0, 37.5, 12.5});
+  const std::string path = "/tmp/cadmc_trace_test.csv";
+  ASSERT_TRUE(t.save_csv(path));
+  const BandwidthTrace back = BandwidthTrace::load_csv(path);
+  EXPECT_EQ(back.sample_count(), t.sample_count());
+  EXPECT_NEAR(back.dt_ms(), 50.0, 1e-9);
+  for (std::size_t i = 0; i < t.sample_count(); ++i)
+    EXPECT_NEAR(back.samples()[i], t.samples()[i], 1e-9);
+}
+
+TEST(Trace, LoadMissingThrows) {
+  EXPECT_THROW(BandwidthTrace::load_csv("/tmp/cadmc_missing_trace.csv"),
+               std::runtime_error);
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  TraceGeneratorParams p;
+  const BandwidthTrace a = generate_trace(p, 5000.0, 9);
+  const BandwidthTrace b = generate_trace(p, 5000.0, 9);
+  ASSERT_EQ(a.sample_count(), b.sample_count());
+  for (std::size_t i = 0; i < a.sample_count(); ++i)
+    EXPECT_EQ(a.samples()[i], b.samples()[i]);
+}
+
+TEST(Generator, MeanNearTarget) {
+  TraceGeneratorParams p;
+  p.mean_mbps = 4.0;
+  p.fade_prob_per_s = 0.0;  // no fades: log-OU mean should track the target
+  const BandwidthTrace t = generate_trace(p, 120'000.0, 10);
+  const double mean_mbps = latency::bytes_per_ms_to_mbps(t.mean());
+  EXPECT_GT(mean_mbps, 2.0);
+  EXPECT_LT(mean_mbps, 8.0);
+}
+
+TEST(Generator, AllSamplesPositive) {
+  TraceGeneratorParams p;
+  p.mean_mbps = 0.5;
+  p.volatility = 1.0;
+  p.fade_prob_per_s = 0.5;
+  const BandwidthTrace t = generate_trace(p, 60'000.0, 11);
+  for (double s : t.samples()) EXPECT_GT(s, 0.0);
+}
+
+TEST(Generator, HigherVolatilityMoreVariation) {
+  TraceGeneratorParams calm, wild;
+  calm.volatility = 0.05;
+  calm.fade_prob_per_s = 0.0;
+  wild.volatility = 0.9;
+  wild.fade_prob_per_s = 0.0;
+  const BandwidthTrace tc = generate_trace(calm, 60'000.0, 12);
+  const BandwidthTrace tw = generate_trace(wild, 60'000.0, 12);
+  const double cv_calm = util::stddev(tc.samples()) / util::mean(tc.samples());
+  const double cv_wild = util::stddev(tw.samples()) / util::mean(tw.samples());
+  EXPECT_GT(cv_wild, cv_calm * 2.0);
+}
+
+TEST(Generator, FadesDepressQuantiles) {
+  TraceGeneratorParams base, fading;
+  base.fade_prob_per_s = 0.0;
+  fading.fade_prob_per_s = 0.5;
+  fading.fade_depth = 0.1;
+  const BandwidthTrace tb = generate_trace(base, 120'000.0, 13);
+  const BandwidthTrace tf = generate_trace(fading, 120'000.0, 13);
+  EXPECT_LT(tf.quantile(0.1), tb.quantile(0.1));
+}
+
+TEST(Generator, RejectsInvalidParams) {
+  TraceGeneratorParams p;
+  EXPECT_THROW(generate_trace(p, 0.0, 1), std::invalid_argument);
+  p.mean_mbps = -1.0;
+  EXPECT_THROW(generate_trace(p, 1000.0, 1), std::invalid_argument);
+}
+
+TEST(Scenes, AllScenesDistinctAndWellFormed) {
+  const auto scenes = all_scenes();
+  EXPECT_EQ(scenes.size(), 7u);
+  for (const Scene& s : scenes) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_GT(s.trace.mean_mbps, 0.0);
+    EXPECT_GT(s.rtt_ms, 0.0);
+  }
+  // Weak scenes have lower means than their strong counterparts.
+  EXPECT_LT(scene_by_name("4G (weak) indoor").trace.mean_mbps,
+            scene_by_name("4G indoor static").trace.mean_mbps);
+  EXPECT_LT(scene_by_name("WiFi (weak) indoor").trace.mean_mbps,
+            scene_by_name("WiFi outdoor slow").trace.mean_mbps);
+}
+
+TEST(Scenes, QuickMobilityHasHighestVolatility) {
+  const auto quick = scene_by_name("4G outdoor quick");
+  const auto still = scene_by_name("4G indoor static");
+  EXPECT_GT(quick.trace.volatility, still.trace.volatility * 3);
+}
+
+TEST(Scenes, WifiRttBelowCellular) {
+  EXPECT_LT(scene_by_name("WiFi outdoor slow").rtt_ms,
+            scene_by_name("4G indoor static").rtt_ms);
+}
+
+TEST(Scenes, UnknownNameThrows) {
+  EXPECT_THROW(scene_by_name("5G orbital"), std::invalid_argument);
+}
+
+TEST(Scenes, PaperContextsMatchTableLayout) {
+  const auto contexts = paper_contexts();
+  ASSERT_EQ(contexts.size(), 14u);  // 7 phone VGG + 3 TX2 VGG + 4 phone Alex
+  int vgg = 0, alex = 0, tx2 = 0;
+  for (const auto& c : contexts) {
+    if (c.model == "VGG11") ++vgg;
+    if (c.model == "AlexNet") ++alex;
+    if (c.device == "tx2") ++tx2;
+  }
+  EXPECT_EQ(vgg, 10);
+  EXPECT_EQ(alex, 4);
+  EXPECT_EQ(tx2, 3);
+  EXPECT_EQ(contexts.front().scene.name, "4G (weak) indoor");
+}
+
+TEST(Estimator, SmoothsFluctuations) {
+  // Alternating 10/1000: the EWMA estimate stays strictly between.
+  std::vector<double> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back(i % 2 ? 1000.0 : 10.0);
+  BandwidthTrace t(10.0, samples);
+  BandwidthEstimator est(t, 0.0, 0.3);
+  double v = 0.0;
+  for (int i = 0; i < 50; ++i) v = est.estimate_at(i * 10.0);
+  EXPECT_GT(v, 10.0);
+  EXPECT_LT(v, 1000.0);
+}
+
+TEST(Estimator, StalenessLagsStepChange) {
+  // Step from 10 to 1000 at t=500: a stale estimator still reports the old
+  // value right after the step.
+  std::vector<double> samples(50, 10.0);
+  samples.resize(100, 1000.0);
+  BandwidthTrace t(10.0, samples);
+  BandwidthEstimator fresh(t, 0.0, 1.0);
+  BandwidthEstimator stale(t, 200.0, 1.0);
+  EXPECT_NEAR(fresh.estimate_at(510.0), 1000.0, 1e-9);
+  EXPECT_NEAR(stale.estimate_at(510.0), 10.0, 1e-9);
+}
+
+TEST(Estimator, TruthBypassesSmoothing) {
+  BandwidthTrace t(10.0, {10.0, 1000.0});
+  BandwidthEstimator est(t, 0.0, 0.1);
+  EXPECT_EQ(est.truth_at(15.0), 1000.0);
+}
+
+TEST(Estimator, RejectsInvalidParams) {
+  BandwidthTrace t(10.0, {1.0});
+  EXPECT_THROW(BandwidthEstimator(t, -1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(BandwidthEstimator(t, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(BandwidthEstimator(t, 0.0, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cadmc::net

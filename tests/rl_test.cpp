@@ -1,0 +1,118 @@
+// RL scaffolding tests: EMA reward baseline, episode log, strategy-space
+// genomes, and the random / epsilon-greedy search baselines of Fig. 7.
+#include <gtest/gtest.h>
+
+#include "rl/baseline_search.h"
+#include "rl/reinforce.h"
+
+namespace cadmc::rl {
+namespace {
+
+TEST(RewardBaseline, FirstAdvantageIsZero) {
+  RewardBaseline b;
+  EXPECT_DOUBLE_EQ(b.advantage(10.0), 0.0);
+}
+
+TEST(RewardBaseline, SubsequentAdvantagesAgainstEma) {
+  RewardBaseline b(0.5);
+  b.advantage(10.0);                       // baseline = 10
+  EXPECT_DOUBLE_EQ(b.advantage(20.0), 10.0);  // 20 - 10
+  // Baseline now 15; next return 15 has zero advantage.
+  EXPECT_DOUBLE_EQ(b.advantage(15.0), 0.0);
+}
+
+TEST(RewardBaseline, ValueTracksRecentRewards) {
+  RewardBaseline b(1.0);  // alpha 1: baseline = last reward
+  b.advantage(3.0);
+  b.advantage(7.0);
+  EXPECT_DOUBLE_EQ(b.value(), 7.0);
+}
+
+TEST(EpisodeLog, TracksBestAndCurve) {
+  EpisodeLog log;
+  for (double r : {1.0, 3.0, 2.0, 5.0, 4.0}) log.record(r);
+  EXPECT_EQ(log.episodes(), 5u);
+  EXPECT_DOUBLE_EQ(log.best(), 5.0);
+  const auto curve = log.best_so_far();
+  const std::vector<double> expected{1.0, 3.0, 3.0, 5.0, 5.0};
+  EXPECT_EQ(curve, expected);
+}
+
+TEST(StrategySpace, RandomGenomeWithinCardinalities) {
+  StrategySpace space{{3, 1, 5}};
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto g = space.random_genome(rng);
+    ASSERT_EQ(g.size(), 3u);
+    EXPECT_LT(g[0], 3);
+    EXPECT_EQ(g[1], 0);
+    EXPECT_LT(g[2], 5);
+  }
+}
+
+TEST(StrategySpace, MutateChangesAtMostOneGene) {
+  StrategySpace space{{4, 4, 4, 4}};
+  util::Rng rng(2);
+  const std::vector<int> genome{1, 2, 3, 0};
+  for (int i = 0; i < 50; ++i) {
+    const auto mutated = space.mutate(genome, rng);
+    int changed = 0;
+    for (std::size_t j = 0; j < genome.size(); ++j)
+      changed += mutated[j] != genome[j];
+    EXPECT_LE(changed, 1);
+  }
+}
+
+TEST(StrategySpace, MutateSizeMismatchThrows) {
+  StrategySpace space{{2, 2}};
+  util::Rng rng(3);
+  EXPECT_THROW(space.mutate({1}, rng), std::invalid_argument);
+}
+
+/// Toy objective: reward = number of genes equal to their index mod card.
+double toy_reward(const std::vector<int>& genome) {
+  double r = 0.0;
+  for (std::size_t i = 0; i < genome.size(); ++i)
+    if (genome[i] == static_cast<int>(i) % 3) r += 1.0;
+  return r;
+}
+
+TEST(RandomSearch, FindsGoodSolutionsEventually) {
+  StrategySpace space{std::vector<int>(6, 3)};
+  const auto outcome = random_search(space, toy_reward, 500, 4);
+  EXPECT_GE(outcome.best_reward, 5.0);
+  EXPECT_EQ(outcome.log.episodes(), 500u);
+}
+
+TEST(RandomSearch, BestGenomeConsistentWithBestReward) {
+  StrategySpace space{std::vector<int>(4, 3)};
+  const auto outcome = random_search(space, toy_reward, 100, 5);
+  EXPECT_DOUBLE_EQ(toy_reward(outcome.best_genome), outcome.best_reward);
+}
+
+TEST(EpsilonGreedy, OutperformsOrMatchesRandomOnToyProblem) {
+  StrategySpace space{std::vector<int>(8, 3)};
+  const auto greedy = epsilon_greedy_search(space, toy_reward, 300, 0.8, 0.05, 6);
+  const auto random = random_search(space, toy_reward, 300, 6);
+  EXPECT_GE(greedy.best_reward + 0.5, random.best_reward);
+  EXPECT_GE(greedy.best_reward, 6.0);  // hill climbing should nearly solve it
+}
+
+TEST(EpsilonGreedy, DeterministicPerSeed) {
+  StrategySpace space{std::vector<int>(5, 4)};
+  const auto a = epsilon_greedy_search(space, toy_reward, 100, 0.5, 0.1, 7);
+  const auto b = epsilon_greedy_search(space, toy_reward, 100, 0.5, 0.1, 7);
+  EXPECT_EQ(a.best_genome, b.best_genome);
+  EXPECT_EQ(a.log.rewards(), b.log.rewards());
+}
+
+TEST(EpsilonGreedy, BestNeverDecreasesAlongCurve) {
+  StrategySpace space{std::vector<int>(6, 3)};
+  const auto outcome = epsilon_greedy_search(space, toy_reward, 200, 0.9, 0.0, 8);
+  const auto curve = outcome.log.best_so_far();
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GE(curve[i], curve[i - 1]);
+}
+
+}  // namespace
+}  // namespace cadmc::rl

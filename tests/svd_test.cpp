@@ -1,0 +1,194 @@
+// Tests for the SVD module: exact Jacobi decomposition, randomized low-rank
+// factorization (the F1/F2 engine), and magnitude sparsification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/svd.h"
+#include "util/rng.h"
+
+namespace cadmc::tensor {
+namespace {
+
+Tensor reconstruct(const SvdResult& s, int m, int n) {
+  const int r = static_cast<int>(s.singular.size());
+  Tensor out({m, n});
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < r; ++k)
+        acc += static_cast<double>(s.u(i, k)) * s.singular[static_cast<std::size_t>(k)] * s.vt(k, j);
+      out(i, j) = static_cast<float>(acc);
+    }
+  return out;
+}
+
+TEST(Svd, ReconstructsTallMatrix) {
+  util::Rng rng(1);
+  const Tensor a = Tensor::randn({12, 5}, rng);
+  const SvdResult s = svd(a);
+  EXPECT_LT(Tensor::max_abs_diff(reconstruct(s, 12, 5), a), 1e-4f);
+}
+
+TEST(Svd, ReconstructsWideMatrix) {
+  util::Rng rng(2);
+  const Tensor a = Tensor::randn({4, 11}, rng);
+  const SvdResult s = svd(a);
+  EXPECT_LT(Tensor::max_abs_diff(reconstruct(s, 4, 11), a), 1e-4f);
+}
+
+TEST(Svd, SingularValuesDescendAndNonNegative) {
+  util::Rng rng(3);
+  const SvdResult s = svd(Tensor::randn({8, 8}, rng));
+  for (std::size_t i = 0; i + 1 < s.singular.size(); ++i) {
+    EXPECT_GE(s.singular[i], s.singular[i + 1]);
+    EXPECT_GE(s.singular[i], 0.0);
+  }
+}
+
+TEST(Svd, LeftSingularVectorsOrthonormal) {
+  util::Rng rng(4);
+  const SvdResult s = svd(Tensor::randn({10, 6}, rng));
+  for (int a = 0; a < 6; ++a)
+    for (int b = 0; b < 6; ++b) {
+      double dot = 0.0;
+      for (int i = 0; i < 10; ++i)
+        dot += static_cast<double>(s.u(i, a)) * s.u(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-5);
+    }
+}
+
+TEST(Svd, DiagonalMatrixSingularValues) {
+  Tensor a({3, 3});
+  a(0, 0) = 3.0f;
+  a(1, 1) = 1.0f;
+  a(2, 2) = 2.0f;
+  const SvdResult s = svd(a);
+  EXPECT_NEAR(s.singular[0], 3.0, 1e-9);
+  EXPECT_NEAR(s.singular[1], 2.0, 1e-9);
+  EXPECT_NEAR(s.singular[2], 1.0, 1e-9);
+}
+
+TEST(Svd, RankDeficientMatrix) {
+  // Rank-1 matrix: second singular value ~ 0.
+  Tensor a({4, 4});
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) a(i, j) = static_cast<float>((i + 1) * (j + 1));
+  const SvdResult s = svd(a);
+  EXPECT_GT(s.singular[0], 1.0);
+  EXPECT_NEAR(s.singular[1], 0.0, 1e-5);
+}
+
+TEST(LowRank, FullRankIsExact) {
+  util::Rng rng(5);
+  const Tensor a = Tensor::randn({6, 9}, rng);
+  const LowRankFactors f = low_rank_factors(a, 6);
+  EXPECT_LT(relative_frobenius_error(a, matmul(f.left, f.right)), 1e-4);
+}
+
+TEST(LowRank, CapturesLowRankStructureExactly) {
+  // A = outer(u1,v1) + outer(u2,v2) has rank 2: rank-2 factors are exact.
+  util::Rng rng(6);
+  const Tensor u = Tensor::randn({7, 2}, rng);
+  const Tensor v = Tensor::randn({2, 9}, rng);
+  const Tensor a = matmul(u, v);
+  const LowRankFactors f = low_rank_factors(a, 2);
+  EXPECT_LT(relative_frobenius_error(a, matmul(f.left, f.right)), 1e-3);
+}
+
+TEST(LowRank, ErrorDecreasesWithRank) {
+  util::Rng rng(7);
+  const Tensor a = Tensor::randn({16, 16}, rng);
+  double prev = 1e9;
+  for (int k : {1, 4, 8, 16}) {
+    const LowRankFactors f = low_rank_factors(a, k);
+    const double err = relative_frobenius_error(a, matmul(f.left, f.right));
+    EXPECT_LE(err, prev + 1e-9);
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-4);  // full rank is exact
+}
+
+TEST(LowRank, ClampsRank) {
+  util::Rng rng(8);
+  const Tensor a = Tensor::randn({4, 6}, rng);
+  const LowRankFactors f = low_rank_factors(a, 100);
+  EXPECT_EQ(f.left.dim(1), 4);
+}
+
+TEST(RandomizedLowRank, MatchesExactOnLowRankInput) {
+  util::Rng rng(9);
+  const Tensor u = Tensor::randn({40, 3}, rng);
+  const Tensor v = Tensor::randn({3, 50}, rng);
+  const Tensor a = matmul(u, v);
+  const LowRankFactors f = randomized_low_rank(a, 3);
+  EXPECT_LT(relative_frobenius_error(a, matmul(f.left, f.right)), 1e-3);
+}
+
+TEST(RandomizedLowRank, NearOptimalOnNoisyLowRank) {
+  util::Rng rng(10);
+  const Tensor u = Tensor::randn({30, 4}, rng);
+  const Tensor v = Tensor::randn({4, 30}, rng);
+  Tensor a = matmul(u, v);
+  const Tensor noise = Tensor::randn(a.shape(), rng, 0.01f);
+  a.add_(noise);
+  const LowRankFactors f = randomized_low_rank(a, 4);
+  EXPECT_LT(relative_frobenius_error(a, matmul(f.left, f.right)), 0.05);
+}
+
+TEST(RandomizedLowRank, DeterministicForSeed) {
+  util::Rng rng(11);
+  const Tensor a = Tensor::randn({20, 20}, rng);
+  const LowRankFactors f1 = randomized_low_rank(a, 5, 8, 2, 99);
+  const LowRankFactors f2 = randomized_low_rank(a, 5, 8, 2, 99);
+  EXPECT_EQ(Tensor::max_abs_diff(f1.left, f2.left), 0.0f);
+}
+
+TEST(LowRank, LargeMatrixUsesRandomizedPathFast) {
+  util::Rng rng(12);
+  const Tensor a = Tensor::randn({300, 400}, rng);
+  const LowRankFactors f = low_rank_factors(a, 32);
+  EXPECT_EQ(f.left.dim(0), 300);
+  EXPECT_EQ(f.left.dim(1), 32);
+  EXPECT_EQ(f.right.dim(1), 400);
+  // Random Gaussian matrices are nearly full rank; just sanity-check error.
+  const double err = relative_frobenius_error(a, matmul(f.left, f.right));
+  EXPECT_LT(err, 1.0);
+  EXPECT_GT(err, 0.1);
+}
+
+TEST(Sparsify, KeepsLargestMagnitudes) {
+  Tensor t = Tensor::from_values({0.1f, -5.0f, 0.2f, 3.0f, -0.05f});
+  sparsify_in_place(t, 0.4);  // keep 2 of 5
+  EXPECT_EQ(t(0), 0.0f);
+  EXPECT_EQ(t(1), -5.0f);
+  EXPECT_EQ(t(2), 0.0f);
+  EXPECT_EQ(t(3), 3.0f);
+  EXPECT_EQ(t(4), 0.0f);
+}
+
+TEST(Sparsify, KeepAllIsNoop) {
+  Tensor t = Tensor::from_values({1.0f, 2.0f});
+  sparsify_in_place(t, 1.0);
+  EXPECT_EQ(t(0), 1.0f);
+}
+
+TEST(Sparsify, FractionRespected) {
+  util::Rng rng(13);
+  Tensor t = Tensor::randn({1000}, rng);
+  sparsify_in_place(t, 0.3);
+  int nonzero = 0;
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    if (t.at(i) != 0.0f) ++nonzero;
+  EXPECT_NEAR(nonzero, 300, 5);
+}
+
+TEST(RelativeFrobenius, ZeroForIdenticalMatrices) {
+  util::Rng rng(14);
+  const Tensor a = Tensor::randn({5, 5}, rng);
+  EXPECT_DOUBLE_EQ(relative_frobenius_error(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace cadmc::tensor

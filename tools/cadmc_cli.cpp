@@ -1,0 +1,247 @@
+// cadmc — command-line front end for the library.
+//
+//   cadmc scenes
+//   cadmc profile --model vgg11 --device phone
+//   cadmc trace   --scene "4G outdoor quick" [--duration-ms 60000]
+//                 [--seed 7] [--out trace.csv]
+//   cadmc train   --model vgg11 --device phone --scene "4G (weak) indoor"
+//                 [--episodes 150] [--out tree.txt]
+//   cadmc compose --model vgg11 --tree tree.txt --bandwidth-mbps 2.5
+//   cadmc emulate --model vgg11 --device phone --scene "4G (weak) indoor"
+//                 [--inferences 40] [--field]
+//
+// Every subcommand is deterministic for a given --seed.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/common.h"
+#include "latency/compute_model.h"
+#include "latency/device_profile.h"
+#include "tree/tree_io.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+using namespace cadmc;
+
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+Flags parse_flags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (!util::starts_with(key, "--")) {
+      std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+      std::exit(2);
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && !util::starts_with(argv[i + 1], "--")) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "true";  // boolean flag
+    }
+  }
+  return flags;
+}
+
+std::string flag_or(const Flags& flags, const std::string& key,
+                    const std::string& fallback) {
+  auto it = flags.find(key);
+  return it != flags.end() ? it->second : fallback;
+}
+
+nn::Model model_by_name(const std::string& name) {
+  if (name == "vgg11") return nn::make_vgg11();
+  if (name == "alexnet") return nn::make_alexnet();
+  if (name == "mobilenet") return nn::make_mobilenet();
+  if (name == "squeezenet") return nn::make_squeezenet();
+  std::fprintf(stderr, "unknown model '%s' (vgg11|alexnet|mobilenet|squeezenet)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int cmd_scenes() {
+  util::AsciiTable table({"Scene", "Mean Mbps", "Volatility", "Fades/s", "RTT ms"});
+  for (const net::Scene& s : net::all_scenes())
+    table.add_row({s.name, util::format_double(s.trace.mean_mbps, 2),
+                   util::format_double(s.trace.volatility, 2),
+                   util::format_double(s.trace.fade_prob_per_s, 2),
+                   util::format_double(s.rtt_ms, 1)});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_profile(const Flags& flags) {
+  nn::Model model = model_by_name(flag_or(flags, "model", "vgg11"));
+  const latency::ComputeLatencyModel device(
+      latency::profile_by_name(flag_or(flags, "device", "phone")));
+  util::AsciiTable table({"#", "Layer", "Spec", "Out shape", "MACCs", "ms"});
+  nn::Shape shape = model.input_shape();
+  double total = 0.0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    const double ms = device.layer_latency_ms(model.layer(i), shape);
+    const auto macc = model.layer(i).macc(shape);
+    shape = model.layer(i).output_shape(shape);
+    total += ms;
+    table.add_row({std::to_string(i), model.layer(i).name(),
+                   model.layer(i).spec().to_string(),
+                   tensor::shape_to_string(shape), std::to_string(macc),
+                   util::format_double(ms, 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("total: %lld MACCs, %.2f ms on %s, %lld params\n",
+              static_cast<long long>(model.total_macc()), total,
+              flag_or(flags, "device", "phone").c_str(),
+              static_cast<long long>(model.param_count()));
+  return 0;
+}
+
+int cmd_trace(const Flags& flags) {
+  const net::Scene scene = net::scene_by_name(flag_or(flags, "scene", "4G indoor static"));
+  const double duration = std::stod(flag_or(flags, "duration-ms", "60000"));
+  const std::uint64_t seed = std::stoull(flag_or(flags, "seed", "7"));
+  const net::BandwidthTrace trace = net::generate_trace(scene.trace, duration, seed);
+  std::vector<double> mbps;
+  for (double s : trace.samples())
+    mbps.push_back(latency::bytes_per_ms_to_mbps(s));
+  std::printf("%s: %zu samples @%.0f ms\n", scene.name.c_str(),
+              trace.sample_count(), trace.dt_ms());
+  std::printf("%s\n", util::sparkline(std::vector<double>(
+                          mbps.begin(), mbps.begin() + std::min<std::size_t>(
+                                                           mbps.size(), 120)))
+                          .c_str());
+  std::printf("mean %.2f  p25 %.2f  p50 %.2f  p75 %.2f Mbps\n",
+              util::mean(mbps), util::quantile(mbps, 0.25),
+              util::quantile(mbps, 0.5), util::quantile(mbps, 0.75));
+  const std::string out = flag_or(flags, "out", "");
+  if (!out.empty()) {
+    if (!trace.save_csv(out)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("saved to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_train(const Flags& flags) {
+  const std::string model_name = flag_or(flags, "model", "vgg11");
+  bench::BenchConfig config;
+  config.branch_episodes = std::stoi(flag_or(flags, "episodes", "150"));
+  config.tree_episodes = config.branch_episodes;
+  config.seed = std::stoull(flag_or(flags, "seed", "48879"));
+  net::EvalContext context{
+      model_name == "vgg11" ? "VGG11" : "AlexNet",
+      flag_or(flags, "device", "phone"),
+      net::scene_by_name(flag_or(flags, "scene", "4G indoor static"))};
+  std::printf("training: %s on %s under '%s' (%d episodes)...\n",
+              model_name.c_str(), context.device.c_str(),
+              context.scene.name.c_str(), config.tree_episodes);
+  const bench::ContextArtifacts art = bench::train_context(context, config);
+  std::printf("surgery reward %.2f | branch %.2f | tree %.2f\n",
+              art.surgery_offline_reward, art.branch_offline_reward,
+              art.tree.tree_reward);
+  std::printf("%s", art.tree.tree.to_string().c_str());
+  const std::string out = flag_or(flags, "out", "");
+  if (!out.empty()) {
+    if (!tree::save_tree(art.tree.tree, out)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("model tree saved to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_compose(const Flags& flags) {
+  nn::Model base = model_by_name(flag_or(flags, "model", "vgg11"));
+  const std::string path = flag_or(flags, "tree", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "--tree <file> is required\n");
+    return 2;
+  }
+  const tree::ModelTree model_tree = tree::load_tree(base, path);
+  const double bw = latency::mbps_to_bytes_per_ms(
+      std::stod(flag_or(flags, "bandwidth-mbps", "2.0")));
+  const auto composition =
+      model_tree.compose_online([&](std::size_t) { return bw; });
+  std::printf("bandwidth %.2f Mbps -> fork path [",
+              latency::bytes_per_ms_to_mbps(bw));
+  for (std::size_t i = 0; i < composition.forks.size(); ++i)
+    std::printf("%s%d", i ? "," : "", composition.forks[i]);
+  std::printf("], cut@%zu/%zu\nplan: ", composition.strategy.cut, base.size());
+  for (std::size_t i = 0; i < composition.strategy.plan.size(); ++i) {
+    if (i == composition.strategy.cut) std::printf(" || cloud:");
+    if (i < composition.strategy.cut)
+      std::printf("%s",
+                  compress::technique_short_name(composition.strategy.plan[i])
+                      .c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_emulate(const Flags& flags) {
+  const std::string model_name = flag_or(flags, "model", "vgg11");
+  bench::BenchConfig config;
+  config.branch_episodes = std::stoi(flag_or(flags, "episodes", "150"));
+  config.tree_episodes = config.branch_episodes;
+  net::EvalContext context{
+      model_name == "vgg11" ? "VGG11" : "AlexNet",
+      flag_or(flags, "device", "phone"),
+      net::scene_by_name(flag_or(flags, "scene", "4G indoor static"))};
+  const bench::ContextArtifacts art = bench::train_context(context, config);
+  const bool field = flags.count("field") > 0;
+  const bench::PolicyStats stats = bench::run_policies(
+      art, field ? runtime::TimingMode::kField : runtime::TimingMode::kEstimated,
+      std::stoi(flag_or(flags, "inferences", "40")), 0xC11);
+  util::AsciiTable table({"Policy", "Reward", "Latency ms", "Accuracy %"});
+  const auto row = [&](const char* name, const runtime::RunStats& s) {
+    table.add_row({name, util::format_double(s.mean_reward, 2),
+                   util::format_double(s.mean_latency_ms, 2),
+                   util::format_double(s.mean_accuracy * 100, 2)});
+  };
+  row("Dynamic DNN Surgery", stats.surgery);
+  row("Optimal Branch", stats.branch);
+  row("Model Tree", stats.tree);
+  std::printf("mode: %s\n%s", field ? "field" : "emulation",
+              table.to_string().c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "cadmc <command> [flags]\n"
+      "  scenes                               list network scene presets\n"
+      "  profile --model M --device D         per-layer latency profile\n"
+      "  trace   --scene S [--out f.csv]      generate a bandwidth trace\n"
+      "  train   --model M --device D --scene S [--out tree.txt]\n"
+      "  compose --model M --tree f --bandwidth-mbps X\n"
+      "  emulate --model M --device D --scene S [--field]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags = parse_flags(argc, argv, 2);
+  try {
+    if (command == "scenes") return cmd_scenes();
+    if (command == "profile") return cmd_profile(flags);
+    if (command == "trace") return cmd_trace(flags);
+    if (command == "train") return cmd_train(flags);
+    if (command == "compose") return cmd_compose(flags);
+    if (command == "emulate") return cmd_emulate(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
