@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_search.dir/ablation_tree_search.cpp.o"
+  "CMakeFiles/ablation_tree_search.dir/ablation_tree_search.cpp.o.d"
+  "ablation_tree_search"
+  "ablation_tree_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

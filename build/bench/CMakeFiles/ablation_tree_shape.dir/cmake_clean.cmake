@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_shape.dir/ablation_tree_shape.cpp.o"
+  "CMakeFiles/ablation_tree_shape.dir/ablation_tree_shape.cpp.o.d"
+  "ablation_tree_shape"
+  "ablation_tree_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_quant_energy.dir/extension_quant_energy.cpp.o"
+  "CMakeFiles/extension_quant_energy.dir/extension_quant_energy.cpp.o.d"
+  "extension_quant_energy"
+  "extension_quant_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_quant_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

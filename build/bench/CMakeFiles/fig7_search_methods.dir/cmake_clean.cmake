@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_search_methods.dir/fig7_search_methods.cpp.o"
+  "CMakeFiles/fig7_search_methods.dir/fig7_search_methods.cpp.o.d"
+  "fig7_search_methods"
+  "fig7_search_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_search_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalization_compact_models.dir/generalization_compact_models.cpp.o"
+  "CMakeFiles/generalization_compact_models.dir/generalization_compact_models.cpp.o.d"
+  "generalization_compact_models"
+  "generalization_compact_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalization_compact_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

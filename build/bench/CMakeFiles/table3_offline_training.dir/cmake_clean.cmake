@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_offline_training.dir/table3_offline_training.cpp.o"
+  "CMakeFiles/table3_offline_training.dir/table3_offline_training.cpp.o.d"
+  "table3_offline_training"
+  "table3_offline_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_offline_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

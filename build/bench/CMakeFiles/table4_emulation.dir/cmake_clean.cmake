@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_emulation.dir/table4_emulation.cpp.o"
+  "CMakeFiles/table4_emulation.dir/table4_emulation.cpp.o.d"
+  "table4_emulation"
+  "table4_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

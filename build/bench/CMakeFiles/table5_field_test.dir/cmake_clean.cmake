@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_field_test.dir/table5_field_test.cpp.o"
+  "CMakeFiles/table5_field_test.dir/table5_field_test.cpp.o.d"
+  "table5_field_test"
+  "table5_field_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_video_stream.dir/adaptive_video_stream.cpp.o"
+  "CMakeFiles/adaptive_video_stream.dir/adaptive_video_stream.cpp.o.d"
+  "adaptive_video_stream"
+  "adaptive_video_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_video_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

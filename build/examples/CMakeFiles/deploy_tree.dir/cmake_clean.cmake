@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_tree.dir/deploy_tree.cpp.o"
+  "CMakeFiles/deploy_tree.dir/deploy_tree.cpp.o.d"
+  "deploy_tree"
+  "deploy_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

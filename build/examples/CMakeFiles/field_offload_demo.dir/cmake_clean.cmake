@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_offload_demo.dir/field_offload_demo.cpp.o"
+  "CMakeFiles/field_offload_demo.dir/field_offload_demo.cpp.o.d"
+  "field_offload_demo"
+  "field_offload_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_offload_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/conv_transforms.cpp" "src/CMakeFiles/cadmc_compress.dir/compress/conv_transforms.cpp.o" "gcc" "src/CMakeFiles/cadmc_compress.dir/compress/conv_transforms.cpp.o.d"
+  "/root/repo/src/compress/fc_transforms.cpp" "src/CMakeFiles/cadmc_compress.dir/compress/fc_transforms.cpp.o" "gcc" "src/CMakeFiles/cadmc_compress.dir/compress/fc_transforms.cpp.o.d"
+  "/root/repo/src/compress/registry.cpp" "src/CMakeFiles/cadmc_compress.dir/compress/registry.cpp.o" "gcc" "src/CMakeFiles/cadmc_compress.dir/compress/registry.cpp.o.d"
+  "/root/repo/src/compress/transform.cpp" "src/CMakeFiles/cadmc_compress.dir/compress/transform.cpp.o" "gcc" "src/CMakeFiles/cadmc_compress.dir/compress/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cadmc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_compress.dir/compress/conv_transforms.cpp.o"
+  "CMakeFiles/cadmc_compress.dir/compress/conv_transforms.cpp.o.d"
+  "CMakeFiles/cadmc_compress.dir/compress/fc_transforms.cpp.o"
+  "CMakeFiles/cadmc_compress.dir/compress/fc_transforms.cpp.o.d"
+  "CMakeFiles/cadmc_compress.dir/compress/registry.cpp.o"
+  "CMakeFiles/cadmc_compress.dir/compress/registry.cpp.o.d"
+  "CMakeFiles/cadmc_compress.dir/compress/transform.cpp.o"
+  "CMakeFiles/cadmc_compress.dir/compress/transform.cpp.o.d"
+  "libcadmc_compress.a"
+  "libcadmc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_controller.dir/controller/controllers.cpp.o"
+  "CMakeFiles/cadmc_controller.dir/controller/controllers.cpp.o.d"
+  "CMakeFiles/cadmc_controller.dir/controller/lstm.cpp.o"
+  "CMakeFiles/cadmc_controller.dir/controller/lstm.cpp.o.d"
+  "libcadmc_controller.a"
+  "libcadmc_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

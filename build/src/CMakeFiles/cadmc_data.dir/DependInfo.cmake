@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataloader.cpp" "src/CMakeFiles/cadmc_data.dir/data/dataloader.cpp.o" "gcc" "src/CMakeFiles/cadmc_data.dir/data/dataloader.cpp.o.d"
+  "/root/repo/src/data/synth_cifar.cpp" "src/CMakeFiles/cadmc_data.dir/data/synth_cifar.cpp.o" "gcc" "src/CMakeFiles/cadmc_data.dir/data/synth_cifar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cadmc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_data.dir/data/dataloader.cpp.o"
+  "CMakeFiles/cadmc_data.dir/data/dataloader.cpp.o.d"
+  "CMakeFiles/cadmc_data.dir/data/synth_cifar.cpp.o"
+  "CMakeFiles/cadmc_data.dir/data/synth_cifar.cpp.o.d"
+  "libcadmc_data.a"
+  "libcadmc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_engine.dir/engine/accuracy_model.cpp.o"
+  "CMakeFiles/cadmc_engine.dir/engine/accuracy_model.cpp.o.d"
+  "CMakeFiles/cadmc_engine.dir/engine/branch_search.cpp.o"
+  "CMakeFiles/cadmc_engine.dir/engine/branch_search.cpp.o.d"
+  "CMakeFiles/cadmc_engine.dir/engine/reward.cpp.o"
+  "CMakeFiles/cadmc_engine.dir/engine/reward.cpp.o.d"
+  "CMakeFiles/cadmc_engine.dir/engine/strategy.cpp.o"
+  "CMakeFiles/cadmc_engine.dir/engine/strategy.cpp.o.d"
+  "libcadmc_engine.a"
+  "libcadmc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/latency/compute_model.cpp" "src/CMakeFiles/cadmc_latency.dir/latency/compute_model.cpp.o" "gcc" "src/CMakeFiles/cadmc_latency.dir/latency/compute_model.cpp.o.d"
+  "/root/repo/src/latency/device_profile.cpp" "src/CMakeFiles/cadmc_latency.dir/latency/device_profile.cpp.o" "gcc" "src/CMakeFiles/cadmc_latency.dir/latency/device_profile.cpp.o.d"
+  "/root/repo/src/latency/energy_model.cpp" "src/CMakeFiles/cadmc_latency.dir/latency/energy_model.cpp.o" "gcc" "src/CMakeFiles/cadmc_latency.dir/latency/energy_model.cpp.o.d"
+  "/root/repo/src/latency/macc.cpp" "src/CMakeFiles/cadmc_latency.dir/latency/macc.cpp.o" "gcc" "src/CMakeFiles/cadmc_latency.dir/latency/macc.cpp.o.d"
+  "/root/repo/src/latency/transfer_model.cpp" "src/CMakeFiles/cadmc_latency.dir/latency/transfer_model.cpp.o" "gcc" "src/CMakeFiles/cadmc_latency.dir/latency/transfer_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cadmc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_latency.dir/latency/compute_model.cpp.o"
+  "CMakeFiles/cadmc_latency.dir/latency/compute_model.cpp.o.d"
+  "CMakeFiles/cadmc_latency.dir/latency/device_profile.cpp.o"
+  "CMakeFiles/cadmc_latency.dir/latency/device_profile.cpp.o.d"
+  "CMakeFiles/cadmc_latency.dir/latency/energy_model.cpp.o"
+  "CMakeFiles/cadmc_latency.dir/latency/energy_model.cpp.o.d"
+  "CMakeFiles/cadmc_latency.dir/latency/macc.cpp.o"
+  "CMakeFiles/cadmc_latency.dir/latency/macc.cpp.o.d"
+  "CMakeFiles/cadmc_latency.dir/latency/transfer_model.cpp.o"
+  "CMakeFiles/cadmc_latency.dir/latency/transfer_model.cpp.o.d"
+  "libcadmc_latency.a"
+  "libcadmc_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/estimator.cpp" "src/CMakeFiles/cadmc_net.dir/net/estimator.cpp.o" "gcc" "src/CMakeFiles/cadmc_net.dir/net/estimator.cpp.o.d"
+  "/root/repo/src/net/generator.cpp" "src/CMakeFiles/cadmc_net.dir/net/generator.cpp.o" "gcc" "src/CMakeFiles/cadmc_net.dir/net/generator.cpp.o.d"
+  "/root/repo/src/net/scenes.cpp" "src/CMakeFiles/cadmc_net.dir/net/scenes.cpp.o" "gcc" "src/CMakeFiles/cadmc_net.dir/net/scenes.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/CMakeFiles/cadmc_net.dir/net/trace.cpp.o" "gcc" "src/CMakeFiles/cadmc_net.dir/net/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cadmc_latency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_net.dir/net/estimator.cpp.o"
+  "CMakeFiles/cadmc_net.dir/net/estimator.cpp.o.d"
+  "CMakeFiles/cadmc_net.dir/net/generator.cpp.o"
+  "CMakeFiles/cadmc_net.dir/net/generator.cpp.o.d"
+  "CMakeFiles/cadmc_net.dir/net/scenes.cpp.o"
+  "CMakeFiles/cadmc_net.dir/net/scenes.cpp.o.d"
+  "CMakeFiles/cadmc_net.dir/net/trace.cpp.o"
+  "CMakeFiles/cadmc_net.dir/net/trace.cpp.o.d"
+  "libcadmc_net.a"
+  "libcadmc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcadmc_net.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/cadmc_nn.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/cadmc_nn.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/cadmc_nn.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/cadmc_nn.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/CMakeFiles/cadmc_nn.dir/nn/checkpoint.cpp.o" "gcc" "src/CMakeFiles/cadmc_nn.dir/nn/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/composite.cpp" "src/CMakeFiles/cadmc_nn.dir/nn/composite.cpp.o" "gcc" "src/CMakeFiles/cadmc_nn.dir/nn/composite.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/CMakeFiles/cadmc_nn.dir/nn/conv.cpp.o" "gcc" "src/CMakeFiles/cadmc_nn.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/factory.cpp" "src/CMakeFiles/cadmc_nn.dir/nn/factory.cpp.o" "gcc" "src/CMakeFiles/cadmc_nn.dir/nn/factory.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/cadmc_nn.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/cadmc_nn.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/cadmc_nn.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/cadmc_nn.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/cadmc_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/cadmc_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/CMakeFiles/cadmc_nn.dir/nn/model.cpp.o" "gcc" "src/CMakeFiles/cadmc_nn.dir/nn/model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/cadmc_nn.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/cadmc_nn.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/CMakeFiles/cadmc_nn.dir/nn/pool.cpp.o" "gcc" "src/CMakeFiles/cadmc_nn.dir/nn/pool.cpp.o.d"
+  "/root/repo/src/nn/quant.cpp" "src/CMakeFiles/cadmc_nn.dir/nn/quant.cpp.o" "gcc" "src/CMakeFiles/cadmc_nn.dir/nn/quant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cadmc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_nn.dir/nn/activation.cpp.o"
+  "CMakeFiles/cadmc_nn.dir/nn/activation.cpp.o.d"
+  "CMakeFiles/cadmc_nn.dir/nn/batchnorm.cpp.o"
+  "CMakeFiles/cadmc_nn.dir/nn/batchnorm.cpp.o.d"
+  "CMakeFiles/cadmc_nn.dir/nn/checkpoint.cpp.o"
+  "CMakeFiles/cadmc_nn.dir/nn/checkpoint.cpp.o.d"
+  "CMakeFiles/cadmc_nn.dir/nn/composite.cpp.o"
+  "CMakeFiles/cadmc_nn.dir/nn/composite.cpp.o.d"
+  "CMakeFiles/cadmc_nn.dir/nn/conv.cpp.o"
+  "CMakeFiles/cadmc_nn.dir/nn/conv.cpp.o.d"
+  "CMakeFiles/cadmc_nn.dir/nn/factory.cpp.o"
+  "CMakeFiles/cadmc_nn.dir/nn/factory.cpp.o.d"
+  "CMakeFiles/cadmc_nn.dir/nn/layer.cpp.o"
+  "CMakeFiles/cadmc_nn.dir/nn/layer.cpp.o.d"
+  "CMakeFiles/cadmc_nn.dir/nn/linear.cpp.o"
+  "CMakeFiles/cadmc_nn.dir/nn/linear.cpp.o.d"
+  "CMakeFiles/cadmc_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/cadmc_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/cadmc_nn.dir/nn/model.cpp.o"
+  "CMakeFiles/cadmc_nn.dir/nn/model.cpp.o.d"
+  "CMakeFiles/cadmc_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/cadmc_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/cadmc_nn.dir/nn/pool.cpp.o"
+  "CMakeFiles/cadmc_nn.dir/nn/pool.cpp.o.d"
+  "CMakeFiles/cadmc_nn.dir/nn/quant.cpp.o"
+  "CMakeFiles/cadmc_nn.dir/nn/quant.cpp.o.d"
+  "libcadmc_nn.a"
+  "libcadmc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/dag_expand.cpp" "src/CMakeFiles/cadmc_partition.dir/partition/dag_expand.cpp.o" "gcc" "src/CMakeFiles/cadmc_partition.dir/partition/dag_expand.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/CMakeFiles/cadmc_partition.dir/partition/partition.cpp.o" "gcc" "src/CMakeFiles/cadmc_partition.dir/partition/partition.cpp.o.d"
+  "/root/repo/src/partition/surgery.cpp" "src/CMakeFiles/cadmc_partition.dir/partition/surgery.cpp.o" "gcc" "src/CMakeFiles/cadmc_partition.dir/partition/surgery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cadmc_latency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_partition.dir/partition/dag_expand.cpp.o"
+  "CMakeFiles/cadmc_partition.dir/partition/dag_expand.cpp.o.d"
+  "CMakeFiles/cadmc_partition.dir/partition/partition.cpp.o"
+  "CMakeFiles/cadmc_partition.dir/partition/partition.cpp.o.d"
+  "CMakeFiles/cadmc_partition.dir/partition/surgery.cpp.o"
+  "CMakeFiles/cadmc_partition.dir/partition/surgery.cpp.o.d"
+  "libcadmc_partition.a"
+  "libcadmc_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_rl.dir/rl/baseline_search.cpp.o"
+  "CMakeFiles/cadmc_rl.dir/rl/baseline_search.cpp.o.d"
+  "CMakeFiles/cadmc_rl.dir/rl/reinforce.cpp.o"
+  "CMakeFiles/cadmc_rl.dir/rl/reinforce.cpp.o.d"
+  "libcadmc_rl.a"
+  "libcadmc_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

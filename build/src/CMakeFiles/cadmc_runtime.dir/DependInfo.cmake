@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/decision_engine.cpp" "src/CMakeFiles/cadmc_runtime.dir/runtime/decision_engine.cpp.o" "gcc" "src/CMakeFiles/cadmc_runtime.dir/runtime/decision_engine.cpp.o.d"
+  "/root/repo/src/runtime/emulator.cpp" "src/CMakeFiles/cadmc_runtime.dir/runtime/emulator.cpp.o" "gcc" "src/CMakeFiles/cadmc_runtime.dir/runtime/emulator.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/cadmc_runtime.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/cadmc_runtime.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/field.cpp" "src/CMakeFiles/cadmc_runtime.dir/runtime/field.cpp.o" "gcc" "src/CMakeFiles/cadmc_runtime.dir/runtime/field.cpp.o.d"
+  "/root/repo/src/runtime/shaper.cpp" "src/CMakeFiles/cadmc_runtime.dir/runtime/shaper.cpp.o" "gcc" "src/CMakeFiles/cadmc_runtime.dir/runtime/shaper.cpp.o.d"
+  "/root/repo/src/runtime/transport.cpp" "src/CMakeFiles/cadmc_runtime.dir/runtime/transport.cpp.o" "gcc" "src/CMakeFiles/cadmc_runtime.dir/runtime/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cadmc_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_latency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cadmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

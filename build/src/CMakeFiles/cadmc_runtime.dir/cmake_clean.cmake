@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_runtime.dir/runtime/decision_engine.cpp.o"
+  "CMakeFiles/cadmc_runtime.dir/runtime/decision_engine.cpp.o.d"
+  "CMakeFiles/cadmc_runtime.dir/runtime/emulator.cpp.o"
+  "CMakeFiles/cadmc_runtime.dir/runtime/emulator.cpp.o.d"
+  "CMakeFiles/cadmc_runtime.dir/runtime/executor.cpp.o"
+  "CMakeFiles/cadmc_runtime.dir/runtime/executor.cpp.o.d"
+  "CMakeFiles/cadmc_runtime.dir/runtime/field.cpp.o"
+  "CMakeFiles/cadmc_runtime.dir/runtime/field.cpp.o.d"
+  "CMakeFiles/cadmc_runtime.dir/runtime/shaper.cpp.o"
+  "CMakeFiles/cadmc_runtime.dir/runtime/shaper.cpp.o.d"
+  "CMakeFiles/cadmc_runtime.dir/runtime/transport.cpp.o"
+  "CMakeFiles/cadmc_runtime.dir/runtime/transport.cpp.o.d"
+  "libcadmc_runtime.a"
+  "libcadmc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

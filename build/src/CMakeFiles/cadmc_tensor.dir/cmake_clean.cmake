@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_tensor.dir/tensor/ops.cpp.o"
+  "CMakeFiles/cadmc_tensor.dir/tensor/ops.cpp.o.d"
+  "CMakeFiles/cadmc_tensor.dir/tensor/serialize.cpp.o"
+  "CMakeFiles/cadmc_tensor.dir/tensor/serialize.cpp.o.d"
+  "CMakeFiles/cadmc_tensor.dir/tensor/svd.cpp.o"
+  "CMakeFiles/cadmc_tensor.dir/tensor/svd.cpp.o.d"
+  "CMakeFiles/cadmc_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/cadmc_tensor.dir/tensor/tensor.cpp.o.d"
+  "libcadmc_tensor.a"
+  "libcadmc_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_tree.dir/tree/model_tree.cpp.o"
+  "CMakeFiles/cadmc_tree.dir/tree/model_tree.cpp.o.d"
+  "CMakeFiles/cadmc_tree.dir/tree/tree_io.cpp.o"
+  "CMakeFiles/cadmc_tree.dir/tree/tree_io.cpp.o.d"
+  "CMakeFiles/cadmc_tree.dir/tree/tree_search.cpp.o"
+  "CMakeFiles/cadmc_tree.dir/tree/tree_search.cpp.o.d"
+  "libcadmc_tree.a"
+  "libcadmc_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_util.dir/util/csv.cpp.o"
+  "CMakeFiles/cadmc_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/cadmc_util.dir/util/logging.cpp.o"
+  "CMakeFiles/cadmc_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/cadmc_util.dir/util/stats.cpp.o"
+  "CMakeFiles/cadmc_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/cadmc_util.dir/util/string_util.cpp.o"
+  "CMakeFiles/cadmc_util.dir/util/string_util.cpp.o.d"
+  "CMakeFiles/cadmc_util.dir/util/table.cpp.o"
+  "CMakeFiles/cadmc_util.dir/util/table.cpp.o.d"
+  "libcadmc_util.a"
+  "libcadmc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cadmc_cli.dir/cadmc_cli.cpp.o"
+  "CMakeFiles/cadmc_cli.dir/cadmc_cli.cpp.o.d"
+  "cadmc"
+  "cadmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadmc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
