@@ -1,6 +1,9 @@
 #include "bench/common.h"
 
+#include <cstdio>
+
 #include "latency/device_profile.h"
+#include "obs/export.h"
 #include "util/string_util.h"
 
 namespace cadmc::bench {
@@ -22,8 +25,18 @@ std::string fmt(double v, int decimals) {
   return util::format_double(v, decimals);
 }
 
+void emit_metrics_sidecar(const std::string& csv_path) {
+  if (!obs::init_from_env()) return;
+  const std::string path = csv_path + ".metrics.jsonl";
+  if (obs::export_jsonl(obs::MetricsRegistry::global(), path))
+    std::printf("metrics sidecar saved to %s\n", path.c_str());
+  else
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+}
+
 ContextArtifacts train_context(const net::EvalContext& context,
                                const BenchConfig& config) {
+  obs::init_from_env();
   ContextArtifacts art;
   art.model_name = context.model;
   art.device_name = context.device == "phone" ? "Phone" : "TX2";

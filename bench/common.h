@@ -70,4 +70,10 @@ double paper_base_accuracy(const std::string& model_name);
 
 std::string fmt(double v, int decimals = 2);
 
+/// Writes the global registry's metric/span stream to
+/// "<csv_path>.metrics.jsonl" when collection is enabled (CADMC_METRICS=1 in
+/// the environment, or obs::set_enabled), so every bench CSV gets a sidecar
+/// describing the run that produced it. No-op while disabled.
+void emit_metrics_sidecar(const std::string& csv_path);
+
 }  // namespace cadmc::bench

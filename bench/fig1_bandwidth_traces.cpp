@@ -47,6 +47,7 @@ void show_trace(const net::Scene& scene, std::uint64_t seed) {
     path += (std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
   path += ".csv";
   if (trace.save_csv(path)) std::printf("  trace saved to %s\n", path.c_str());
+  bench::emit_metrics_sidecar(path);
 }
 }  // namespace
 

@@ -1,11 +1,14 @@
 // Quickstart: train a context-aware model tree for VGG11 on a phone under a
 // fluctuating 4G link, then run online inferences that compose the DNN from
-// the tree per the current bandwidth (Alg. 2).
+// the tree per the current bandwidth (Alg. 2). Metric/span collection is on:
+// the run ends with an observability report and a JSONL event stream
+// (quickstart_metrics.jsonl) covering the offline search and each infer().
 //
 //   ./examples/quickstart
 #include <cstdio>
 
 #include "nn/factory.h"
+#include "obs/export.h"
 #include "runtime/decision_engine.h"
 #include "util/logging.h"
 
@@ -13,6 +16,7 @@ using namespace cadmc;
 
 int main() {
   util::set_log_level(util::LogLevel::kInfo);
+  obs::set_enabled(true);
 
   // 1. Base DNN + deployment context.
   runtime::EngineConfig config;
@@ -55,6 +59,16 @@ int main() {
                 outcome.strategy.cut, engine.base().size(),
                 outcome.latency_ms, outcome.logits.argmax(), example.label);
   }
+  // 4. Observability: aggregate run report + raw JSONL event stream. The
+  // spans map onto the Fig. 2 pipeline: compose (Alg. 2 walk) -> edge_exec
+  // -> transfer -> cloud_exec, under one "infer" parent per call.
+  const auto& registry = engine.metrics();
+  std::printf("\nRun report:\n%s",
+              obs::render_report(obs::make_report(registry)).c_str());
+  const char* metrics_path = "quickstart_metrics.jsonl";
+  if (obs::export_jsonl(registry, metrics_path))
+    std::printf("metrics stream saved to %s\n", metrics_path);
+
   std::printf("\nQuickstart finished.\n");
   return 0;
 }

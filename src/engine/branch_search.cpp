@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "latency/transfer_model.h"
+#include "obs/span.h"
 
 namespace cadmc::engine {
 
@@ -43,6 +44,7 @@ Strategy BranchSearch::sample_strategy(double bandwidth_bytes_per_ms,
 }
 
 BranchSearchResult BranchSearch::run(double bandwidth_bytes_per_ms) {
+  obs::ScopedSpan run_span("branch_search");
   const nn::Model& base = evaluator_->base();
   const double bw_mbps = latency::bytes_per_ms_to_mbps(bandwidth_bytes_per_ms);
   util::Rng rng(config_.seed);
@@ -66,6 +68,12 @@ BranchSearchResult BranchSearch::run(double bandwidth_bytes_per_ms) {
     if (eval.reward > result.best_eval.reward) {
       result.best_eval = eval;
       result.best = s;
+    }
+    if (obs::enabled()) {
+      obs::count("cadmc.search.branch_episodes");
+      obs::observe("cadmc.search.branch_reward", eval.reward);
+      obs::set_gauge("cadmc.search.branch_best_reward",
+                     result.best_eval.reward);
     }
     const double advantage = baseline.advantage(eval.reward);
     // Rewards live on a ~400 scale; normalize the advantage so the policy

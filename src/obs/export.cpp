@@ -1,0 +1,266 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace cadmc::obs {
+
+namespace {
+
+std::string num(double v) {
+  // Shortest faithful form: integers print without a fraction.
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(v)));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+double to_double(const std::map<std::string, std::string>& event,
+                 const std::string& key, double fallback = 0.0) {
+  const auto it = event.find(key);
+  if (it == event.end() || it->second.empty()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::string field(const std::map<std::string, std::string>& event,
+                  const std::string& key) {
+  const auto it = event.find(key);
+  return it != event.end() ? it->second : std::string();
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+RunReport make_report(const MetricsRegistry& registry) {
+  RunReport report;
+  report.counters = registry.counter_values();
+  report.gauges = registry.gauge_values();
+  report.histograms = registry.histogram_values();
+  for (const SpanRecord& s : registry.spans()) {
+    RunReport::SpanStats& stats = report.spans[s.name];
+    if (stats.count == 0) stats.depth = s.depth;
+    ++stats.count;
+    stats.total_wall_ms += s.wall_ms;
+    if (s.modelled_ms >= 0.0) stats.total_modelled_ms += s.modelled_ms;
+  }
+  for (auto& [name, stats] : report.spans)
+    stats.mean_wall_ms = stats.total_wall_ms / static_cast<double>(stats.count);
+  return report;
+}
+
+std::string render_report(const RunReport& report) {
+  std::ostringstream out;
+  if (!report.counters.empty() || !report.gauges.empty()) {
+    util::AsciiTable table({"Metric", "Kind", "Value"});
+    for (const auto& [name, v] : report.counters)
+      table.add_row({name, "counter", std::to_string(v)});
+    for (const auto& [name, v] : report.gauges)
+      table.add_row({name, "gauge", util::format_double(v, 3)});
+    out << table.to_string();
+  }
+  if (!report.histograms.empty()) {
+    util::AsciiTable table(
+        {"Histogram", "Count", "Mean", "Min", "p50", "p90", "p99", "Max"});
+    for (const auto& [name, h] : report.histograms) {
+      const double mean = h.count ? h.sum / static_cast<double>(h.count) : 0.0;
+      table.add_row({name, std::to_string(h.count),
+                     util::format_double(mean, 3), util::format_double(h.min, 3),
+                     util::format_double(h.p50, 3), util::format_double(h.p90, 3),
+                     util::format_double(h.p99, 3),
+                     util::format_double(h.max, 3)});
+    }
+    out << table.to_string();
+  }
+  if (!report.spans.empty()) {
+    util::AsciiTable table(
+        {"Span", "Count", "Wall ms", "Mean ms", "Modelled ms"});
+    for (const auto& [name, s] : report.spans) {
+      std::string indented(static_cast<std::size_t>(s.depth) * 2, ' ');
+      indented += name;
+      table.add_row({indented, std::to_string(s.count),
+                     util::format_double(s.total_wall_ms, 3),
+                     util::format_double(s.mean_wall_ms, 3),
+                     util::format_double(s.total_modelled_ms, 3)});
+    }
+    out << table.to_string();
+  }
+  if (out.str().empty()) out << "(no metrics collected)\n";
+  return out.str();
+}
+
+std::string report_csv(const RunReport& report) {
+  std::ostringstream out;
+  out << "kind,name,count,value,sum,min,max,p50,p90,p99\n";
+  for (const auto& [name, v] : report.counters)
+    out << "counter," << name << ",," << v << ",,,,,,\n";
+  for (const auto& [name, v] : report.gauges)
+    out << "gauge," << name << ",," << num(v) << ",,,,,,\n";
+  for (const auto& [name, h] : report.histograms)
+    out << "histogram," << name << "," << h.count << ",," << num(h.sum) << ","
+        << num(h.min) << "," << num(h.max) << "," << num(h.p50) << ","
+        << num(h.p90) << "," << num(h.p99) << "\n";
+  for (const auto& [name, s] : report.spans)
+    out << "span," << name << "," << s.count << ","
+        << num(s.total_modelled_ms) << "," << num(s.total_wall_ms)
+        << ",,,,,\n";
+  return out.str();
+}
+
+std::string to_jsonl(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  for (const auto& [name, v] : registry.counter_values())
+    out << "{\"type\":\"counter\",\"name\":\"" << json_escape(name)
+        << "\",\"value\":" << v << "}\n";
+  for (const auto& [name, v] : registry.gauge_values())
+    out << "{\"type\":\"gauge\",\"name\":\"" << json_escape(name)
+        << "\",\"value\":" << num(v) << "}\n";
+  for (const auto& [name, h] : registry.histogram_values())
+    out << "{\"type\":\"histogram\",\"name\":\"" << json_escape(name)
+        << "\",\"count\":" << h.count << ",\"sum\":" << num(h.sum)
+        << ",\"min\":" << num(h.min) << ",\"max\":" << num(h.max)
+        << ",\"p50\":" << num(h.p50) << ",\"p90\":" << num(h.p90)
+        << ",\"p99\":" << num(h.p99) << "}\n";
+  for (const SpanRecord& s : registry.spans())
+    out << "{\"type\":\"span\",\"name\":\"" << json_escape(s.name)
+        << "\",\"id\":" << s.id << ",\"parent\":" << s.parent_id
+        << ",\"depth\":" << s.depth << ",\"start_ms\":" << num(s.start_ms)
+        << ",\"wall_ms\":" << num(s.wall_ms)
+        << ",\"modelled_ms\":" << num(s.modelled_ms) << "}\n";
+  return out.str();
+}
+
+bool export_jsonl(const MetricsRegistry& registry, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_jsonl(registry);
+  return static_cast<bool>(out);
+}
+
+std::vector<std::map<std::string, std::string>> parse_jsonl(
+    const std::string& text) {
+  std::vector<std::map<std::string, std::string>> events;
+  for (const std::string& line : util::split(text, '\n')) {
+    const std::string trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    std::map<std::string, std::string> event;
+    std::size_t i = 0;
+    const auto skip_ws = [&] {
+      while (i < trimmed.size() &&
+             std::isspace(static_cast<unsigned char>(trimmed[i])))
+        ++i;
+    };
+    const auto parse_string = [&]() -> std::string {
+      std::string s;
+      ++i;  // opening quote
+      while (i < trimmed.size() && trimmed[i] != '"') {
+        if (trimmed[i] == '\\' && i + 1 < trimmed.size()) {
+          ++i;
+          switch (trimmed[i]) {
+            case 'n': s.push_back('\n'); break;
+            case 't': s.push_back('\t'); break;
+            default: s.push_back(trimmed[i]);
+          }
+        } else {
+          s.push_back(trimmed[i]);
+        }
+        ++i;
+      }
+      ++i;  // closing quote
+      return s;
+    };
+    skip_ws();
+    if (i >= trimmed.size() || trimmed[i] != '{') continue;
+    ++i;
+    while (i < trimmed.size()) {
+      skip_ws();
+      if (i < trimmed.size() && (trimmed[i] == ',' )) { ++i; continue; }
+      if (i >= trimmed.size() || trimmed[i] == '}') break;
+      if (trimmed[i] != '"') break;  // malformed; keep what we have
+      const std::string key = parse_string();
+      skip_ws();
+      if (i < trimmed.size() && trimmed[i] == ':') ++i;
+      skip_ws();
+      if (i < trimmed.size() && trimmed[i] == '"') {
+        event[key] = parse_string();
+      } else {
+        std::string literal;
+        while (i < trimmed.size() && trimmed[i] != ',' && trimmed[i] != '}')
+          literal.push_back(trimmed[i++]);
+        event[key] = util::trim(literal);
+      }
+    }
+    if (!event.empty()) events.push_back(std::move(event));
+  }
+  return events;
+}
+
+RunReport report_from_events(
+    const std::vector<std::map<std::string, std::string>>& events) {
+  RunReport report;
+  for (const auto& event : events) {
+    const std::string type = field(event, "type");
+    const std::string name = field(event, "name");
+    if (name.empty()) continue;
+    if (type == "counter") {
+      report.counters[name] =
+          static_cast<std::int64_t>(to_double(event, "value"));
+    } else if (type == "gauge") {
+      report.gauges[name] = to_double(event, "value");
+    } else if (type == "histogram") {
+      HistogramSnapshot h;
+      h.count = static_cast<std::uint64_t>(to_double(event, "count"));
+      h.sum = to_double(event, "sum");
+      h.min = to_double(event, "min");
+      h.max = to_double(event, "max");
+      h.p50 = to_double(event, "p50");
+      h.p90 = to_double(event, "p90");
+      h.p99 = to_double(event, "p99");
+      report.histograms[name] = std::move(h);
+    } else if (type == "span") {
+      RunReport::SpanStats& stats = report.spans[name];
+      if (stats.count == 0)
+        stats.depth = static_cast<int>(to_double(event, "depth"));
+      ++stats.count;
+      stats.total_wall_ms += to_double(event, "wall_ms");
+      const double modelled = to_double(event, "modelled_ms", -1.0);
+      if (modelled >= 0.0) stats.total_modelled_ms += modelled;
+    }
+  }
+  for (auto& [name, stats] : report.spans)
+    if (stats.count > 0)
+      stats.mean_wall_ms =
+          stats.total_wall_ms / static_cast<double>(stats.count);
+  return report;
+}
+
+}  // namespace cadmc::obs

@@ -1,0 +1,63 @@
+// Exporters over a MetricsRegistry: a JSONL event stream (one flat JSON
+// object per counter/gauge/histogram/span), a structured RunReport snapshot,
+// and human-readable text / CSV renderings of that report (util::table /
+// util::csv shapes, like the paper benches).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cadmc::obs {
+
+/// End-of-run snapshot of everything a registry collected. Span records are
+/// aggregated by name (individual records remain available via
+/// MetricsRegistry::spans / the JSONL stream).
+struct RunReport {
+  struct SpanStats {
+    std::uint64_t count = 0;
+    int depth = 0;             // depth of the first occurrence
+    double total_wall_ms = 0.0;
+    double mean_wall_ms = 0.0;
+    double total_modelled_ms = 0.0;  // sum over records that set it
+  };
+
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, SpanStats> spans;
+};
+
+RunReport make_report(const MetricsRegistry& registry);
+
+/// Renders the report as ASCII tables (Counters/Gauges, Histograms, Spans).
+std::string render_report(const RunReport& report);
+
+/// Renders the report as CSV rows: kind,name,count,value,sum,min,max,p50,p90,p99.
+std::string report_csv(const RunReport& report);
+
+/// One JSONL line per metric and span. Example lines:
+///   {"type":"counter","name":"cadmc.search.episodes","value":150}
+///   {"type":"span","name":"compose","id":4,"parent":3,"depth":1,
+///    "start_ms":12.834,"wall_ms":0.112,"modelled_ms":-1}
+std::string to_jsonl(const MetricsRegistry& registry);
+
+/// Writes to_jsonl() to `path`; returns false on I/O failure.
+bool export_jsonl(const MetricsRegistry& registry, const std::string& path);
+
+/// Parses a stream of flat JSON objects (string/number values — the shape
+/// to_jsonl emits) into key->literal maps, one per line. String values are
+/// unescaped; numbers keep their textual form. Blank lines are skipped.
+std::vector<std::map<std::string, std::string>> parse_jsonl(
+    const std::string& text);
+
+/// Rebuilds an aggregate report from parsed JSONL events (the `report` CLI
+/// subcommand). Histogram quantiles are taken from the event fields.
+RunReport report_from_events(
+    const std::vector<std::map<std::string, std::string>>& events);
+
+std::string json_escape(const std::string& s);
+
+}  // namespace cadmc::obs

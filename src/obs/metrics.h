@@ -1,0 +1,152 @@
+// Metrics registry — named counters, gauges and fixed-bucket histograms for
+// the whole stack (metric naming scheme: "cadmc.<area>.<name>"). A global
+// default registry serves the common case; library users that need isolation
+// can inject their own instance (e.g. runtime::EngineConfig::metrics).
+//
+// Cost model: every instrumentation site is gated by the runtime flag
+// `obs::enabled()` (one relaxed atomic load when off) and the whole layer can
+// be compiled out with -DCADMC_OBS_DISABLED, so the Table I/IV latency
+// numbers are unaffected by the disabled path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cadmc::obs {
+
+/// Runtime switch. Defaults to off so benches/tests pay nothing unless they
+/// opt in.
+void set_enabled(bool on);
+bool enabled();
+
+/// Reads CADMC_METRICS from the environment once ("1"/"true"/"on" enables
+/// collection); later calls are no-ops. Returns the resulting enabled state.
+bool init_from_env();
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins floating-point metric.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time view of a histogram, with quantiles precomputed via
+/// util::quantile over the retained samples.
+struct HistogramSnapshot {
+  std::vector<double> bounds;          // bucket upper bounds (le semantics)
+  std::vector<std::uint64_t> counts;   // bounds.size() + 1 (last = overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Fixed-bucket histogram. Also retains up to kMaxSamples raw observations
+/// (first-come) so snapshots can report interpolated p50/p90/p99 rather than
+/// bucket-resolution estimates; runs here are short enough that the cap is
+/// rarely hit.
+class Histogram {
+ public:
+  static constexpr std::size_t kMaxSamples = 8192;
+
+  /// Default bounds cover the paper's millisecond scales (0.5 ms .. 5 s).
+  static std::vector<double> default_bounds();
+
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> samples_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One closed tracing span (see obs/span.h for the RAII producer).
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent_id = 0;  // 0 = no parent
+  std::string name;
+  int depth = 0;
+  double start_ms = 0.0;     // steady-clock ms since process start
+  double wall_ms = 0.0;      // measured wall-clock duration
+  double modelled_ms = -1.0; // analytic-model duration; < 0 when unset
+};
+
+/// Thread-safe named-metric registry. Metric objects are created on first
+/// use and live as long as the registry; returned references stay valid.
+class MetricsRegistry {
+ public:
+  /// Process-wide default instance.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` is consulted only on first creation of `name`.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  /// Appends a closed span and folds its wall duration into the
+  /// "cadmc.span.<name>" histogram. Retention is capped at kMaxSpans.
+  static constexpr std::size_t kMaxSpans = 100'000;
+  void record_span(SpanRecord record);
+
+  std::vector<SpanRecord> spans() const;
+  std::map<std::string, std::int64_t> counter_values() const;
+  std::map<std::string, double> gauge_values() const;
+  std::map<std::string, HistogramSnapshot> histogram_values() const;
+
+  /// Drops every metric and retained span.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::vector<SpanRecord> spans_;
+  std::size_t dropped_spans_ = 0;
+};
+
+#ifndef CADMC_OBS_DISABLED
+/// Convenience helpers against the global registry; no-ops while disabled.
+void count(const std::string& name, std::int64_t n = 1);
+void observe(const std::string& name, double v);
+void set_gauge(const std::string& name, double v);
+#else
+inline void count(const std::string&, std::int64_t = 1) {}
+inline void observe(const std::string&, double) {}
+inline void set_gauge(const std::string&, double) {}
+#endif
+
+}  // namespace cadmc::obs

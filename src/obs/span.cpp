@@ -1,0 +1,72 @@
+#include "obs/span.h"
+
+#include <chrono>
+#include <vector>
+
+namespace cadmc::obs {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+const Clock::time_point g_process_start = Clock::now();
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+struct LiveSpan {
+  MetricsRegistry* registry;
+  std::uint64_t id;
+};
+// Innermost live spans of this thread; parentage is per (thread, registry)
+// so spans recorded into an injected registry do not adopt parents from the
+// global one.
+thread_local std::vector<LiveSpan> t_span_stack;
+
+std::uint64_t innermost_in(const MetricsRegistry* registry) {
+  for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend(); ++it)
+    if (it->registry == registry) return it->id;
+  return 0;
+}
+}  // namespace
+
+double steady_now_ms() {
+  return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                   g_process_start)
+      .count();
+}
+
+ScopedSpan::ScopedSpan(std::string name, MetricsRegistry* registry) {
+  if (!enabled()) return;
+  active_ = true;
+  registry_ = registry != nullptr ? registry : &MetricsRegistry::global();
+  name_ = std::move(name);
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_id_ = innermost_in(registry_);
+  int depth = 0;
+  for (const LiveSpan& s : t_span_stack)
+    if (s.registry == registry_) ++depth;
+  depth_ = depth;
+  t_span_stack.push_back({registry_, id_});
+  start_ms_ = steady_now_ms();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  SpanRecord record;
+  record.id = id_;
+  record.parent_id = parent_id_;
+  record.name = std::move(name_);
+  record.depth = depth_;
+  record.start_ms = start_ms_;
+  record.wall_ms = steady_now_ms() - start_ms_;
+  record.modelled_ms = modelled_ms_;
+  // Destruction order is LIFO within a thread, but be tolerant of exotic
+  // lifetimes: pop the newest stack entry belonging to this span.
+  for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend(); ++it) {
+    if (it->id == id_) {
+      t_span_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  registry_->record_span(std::move(record));
+}
+
+}  // namespace cadmc::obs

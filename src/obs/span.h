@@ -1,0 +1,57 @@
+// Scoped tracing spans. A ScopedSpan measures the wall-clock time between
+// its construction and destruction, nests under the innermost live span on
+// the same thread (parent/child ids + depth), and can carry the analytic
+// model's duration alongside the measured one (`set_modelled_ms`) — the
+// hot paths report both so the Fig. 5 calibration gap is visible per stage.
+//
+// Spans are inert (no clock read, no allocation) while obs::enabled() is
+// false, and the CADMC_SPAN macro compiles away under -DCADMC_OBS_DISABLED.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cadmc::obs {
+
+class ScopedSpan {
+ public:
+  /// Records into `registry` (the global registry when null) on destruction.
+  explicit ScopedSpan(std::string name, MetricsRegistry* registry = nullptr);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when collection was enabled at construction time.
+  bool active() const { return active_; }
+
+  void set_modelled_ms(double ms) { modelled_ms_ = ms; }
+  void add_modelled_ms(double ms) {
+    modelled_ms_ = (modelled_ms_ < 0.0 ? 0.0 : modelled_ms_) + ms;
+  }
+
+ private:
+  bool active_ = false;
+  MetricsRegistry* registry_ = nullptr;
+  std::string name_;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_id_ = 0;
+  int depth_ = 0;
+  double start_ms_ = 0.0;
+  double modelled_ms_ = -1.0;
+};
+
+/// Milliseconds on the steady clock since process start (span timebase).
+double steady_now_ms();
+
+#ifndef CADMC_OBS_DISABLED
+#define CADMC_SPAN_CONCAT2(a, b) a##b
+#define CADMC_SPAN_CONCAT(a, b) CADMC_SPAN_CONCAT2(a, b)
+/// Anonymous span covering the rest of the enclosing scope.
+#define CADMC_SPAN(name) \
+  ::cadmc::obs::ScopedSpan CADMC_SPAN_CONCAT(cadmc_span_, __LINE__)(name)
+#else
+#define CADMC_SPAN(name) ((void)0)
+#endif
+
+}  // namespace cadmc::obs

@@ -1,5 +1,7 @@
 #include "rl/reinforce.h"
 
+#include <algorithm>
+
 namespace cadmc::rl {
 
 std::vector<double> EpisodeLog::best_so_far() const {
@@ -11,6 +13,15 @@ std::vector<double> EpisodeLog::best_so_far() const {
     out.push_back(best);
   }
   return out;
+}
+
+double EpisodeLog::mean_last(std::size_t n) const {
+  n = std::min(n, rewards_.size());
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = rewards_.size() - n; i < rewards_.size(); ++i)
+    sum += rewards_[i];
+  return sum / static_cast<double>(n);
 }
 
 }  // namespace cadmc::rl

@@ -4,6 +4,7 @@
 // recorder for diagnostics (reward curves in Fig. 7).
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "util/stats.h"
@@ -34,17 +35,21 @@ class EpisodeLog {
  public:
   void record(double reward) {
     rewards_.push_back(reward);
-    if (rewards_.size() == 1 || reward > best_) best_ = reward;
+    if (reward > best_) best_ = reward;
   }
   const std::vector<double>& rewards() const { return rewards_; }
+  /// -inf until the first record, so all-negative reward scales work too.
   double best() const { return best_; }
   /// Running best at each episode (monotone curve for Fig. 7).
   std::vector<double> best_so_far() const;
+  /// Mean of the most recent min(n, episodes()) rewards (smoothed Fig. 7
+  /// curves); 0 when empty or n == 0.
+  double mean_last(std::size_t n) const;
   std::size_t episodes() const { return rewards_.size(); }
 
  private:
   std::vector<double> rewards_;
-  double best_ = 0.0;
+  double best_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace cadmc::rl

@@ -4,6 +4,7 @@
 
 #include "latency/device_profile.h"
 #include "nn/factory.h"
+#include "obs/span.h"
 
 namespace cadmc::runtime {
 
@@ -68,29 +69,73 @@ const tree::TreeSearchResult& DecisionEngine::search_result() const {
   return *search_result_;
 }
 
+obs::MetricsRegistry& DecisionEngine::metrics() const {
+  return config_.metrics != nullptr ? *config_.metrics
+                                    : obs::MetricsRegistry::global();
+}
+
 DecisionEngine::InferenceOutcome DecisionEngine::infer(
     const tensor::Tensor& input, double t_ms) {
   const tree::ModelTree& model_tree = tree();
+  obs::MetricsRegistry& reg = metrics();
+  obs::ScopedSpan infer_span("infer", &reg);
   net::BandwidthEstimator estimator(trace_, /*staleness_ms=*/200.0,
                                     /*alpha=*/0.6);
   // Alg. 2: one bandwidth measurement before each block. Inference time
   // advances as blocks execute, so later measurements see later link state.
   double t_cursor = t_ms;
   InferenceOutcome outcome;
-  const auto composition = model_tree.compose_online([&](std::size_t block) {
-    const double bw = estimator.estimate_at(t_cursor);
-    t_cursor += 5.0 + 10.0 * static_cast<double>(block);  // measurement cadence
-    return bw;
-  });
+  tree::ModelTree::Composition composition;
+  {
+    obs::ScopedSpan compose_span("compose", &reg);
+    composition = model_tree.compose_online([&](std::size_t block) {
+      obs::ScopedSpan estimate_span("estimate", &reg);
+      const double bw = estimator.estimate_at(t_cursor);
+      t_cursor += 5.0 + 10.0 * static_cast<double>(block);  // measurement cadence
+      return bw;
+    });
+  }
   outcome.strategy = composition.strategy;
   outcome.forks = composition.forks;
 
-  engine::RealizedStrategy realized = engine::realize_strategy(
-      base_, outcome.strategy, faithful_registry_, realize_rng_);
-  outcome.logits = realized.model.forward(input, false);
+  engine::RealizedStrategy realized = [&] {
+    obs::ScopedSpan realize_span("realize", &reg);
+    return engine::realize_strategy(base_, outcome.strategy,
+                                    faithful_registry_, realize_rng_);
+  }();
 
+  // The modelled per-stage costs (edge device, uplink, cloud) price the
+  // strategy; the host wall-clock of each stage rides on the same spans.
   const auto eval = evaluator_->evaluate(outcome.strategy, trace_.at(t_ms));
+  tensor::Tensor features;
+  {
+    obs::ScopedSpan edge_span("edge_exec", &reg);
+    edge_span.set_modelled_ms(eval.breakdown.edge_ms);
+    features = realized.model.forward_range(input, 0, realized.cut, false);
+  }
+  {
+    obs::ScopedSpan transfer_span("transfer", &reg);
+    transfer_span.set_modelled_ms(eval.breakdown.transfer_ms);
+    // Local run: the feature tensor crosses no real socket; the modelled
+    // uplink cost is the whole story (field.cpp pays a real transfer).
+  }
+  {
+    obs::ScopedSpan cloud_span("cloud_exec", &reg);
+    cloud_span.set_modelled_ms(eval.breakdown.cloud_ms);
+    outcome.logits =
+        realized.cut < realized.model.size()
+            ? realized.model.forward_range(features, realized.cut,
+                                           realized.model.size(), false)
+            : features;
+  }
   outcome.latency_ms = eval.latency_ms;
+  if (obs::enabled()) {
+    reg.counter("cadmc.runtime.inferences").add(1);
+    if (outcome.strategy.cut < base_.size())
+      reg.counter("cadmc.runtime.offloads").add(1);
+    reg.histogram("cadmc.runtime.latency_ms").observe(outcome.latency_ms);
+    reg.gauge("cadmc.runtime.last_bandwidth").set(trace_.at(t_ms));
+  }
   return outcome;
 }
 

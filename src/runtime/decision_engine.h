@@ -12,6 +12,10 @@
 #include "runtime/emulator.h"
 #include "tree/tree_search.h"
 
+namespace cadmc::obs {
+class MetricsRegistry;
+}
+
 namespace cadmc::runtime {
 
 struct EngineConfig {
@@ -24,6 +28,10 @@ struct EngineConfig {
   std::uint64_t trace_seed = 0x7A2CE;
   tree::TreeSearchConfig tree_config;
   engine::RewardConfig reward_config;
+  // Observability sink for this engine's spans and runtime counters
+  // (cadmc.runtime.*); null means the global registry. Offline-search
+  // metrics (cadmc.search.*) always go to the global registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class DecisionEngine {
@@ -62,6 +70,10 @@ class DecisionEngine {
     double latency_ms = 0.0;
   };
   InferenceOutcome infer(const tensor::Tensor& input, double t_ms);
+
+  /// Metrics registry this engine records into (EngineConfig::metrics or the
+  /// global default). Collection only happens while obs::enabled().
+  obs::MetricsRegistry& metrics() const;
 
   /// An InferenceRunner over this engine's context (for emulation/field
   /// sweeps with this configuration).

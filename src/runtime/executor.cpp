@@ -1,5 +1,6 @@
 #include "runtime/executor.h"
 
+#include "obs/span.h"
 #include "tensor/serialize.h"
 
 namespace cadmc::runtime {
@@ -7,8 +8,10 @@ namespace cadmc::runtime {
 ExecutionResult execute_range(nn::Model& model, const tensor::Tensor& input,
                               std::size_t begin, std::size_t end,
                               const latency::ComputeLatencyModel& device) {
+  obs::ScopedSpan span("exec_range");
   ExecutionResult result;
   result.device_ms = device.range_latency_ms(model, begin, end);
+  span.set_modelled_ms(result.device_ms);
   result.output = model.forward_range(input, begin, end, /*training=*/false);
   return result;
 }
@@ -25,24 +28,43 @@ std::uint16_t CloudExecutor::start() { return server_.start(); }
 void CloudExecutor::stop() { server_.stop(); }
 
 Blob CloudExecutor::handle(const Blob& request) {
+  obs::ScopedSpan span("cloud_handle");
   std::size_t offset = 0;
   const tensor::Tensor features = tensor::decode_tensor(request, offset);
   const ExecutionResult result =
       execute_range(model_, features, 0, model_.size(), device_);
+  span.set_modelled_ms(result.device_ms);
   Blob response = tensor::encode_tensor(result.output);
   tensor::Tensor ms({1});
   ms(0) = static_cast<float>(result.device_ms);
   tensor::encode_tensor(ms, response);
+  if (obs::enabled()) {
+    obs::count("cadmc.cloud.requests");
+    obs::count("cadmc.cloud.bytes_rx",
+               static_cast<std::int64_t>(request.size()));
+    obs::count("cadmc.cloud.bytes_tx",
+               static_cast<std::int64_t>(response.size()));
+  }
   return response;
 }
 
 RemoteResult call_cloud(TcpClient& client, const tensor::Tensor& features) {
-  const Blob response = client.call(tensor::encode_tensor(features));
+  obs::ScopedSpan span("cloud_call");
+  const Blob request = tensor::encode_tensor(features);
+  const Blob response = client.call(request);
   std::size_t offset = 0;
   RemoteResult result;
   result.logits = tensor::decode_tensor(response, offset);
   const tensor::Tensor ms = tensor::decode_tensor(response, offset);
   result.cloud_ms = ms(0);
+  span.set_modelled_ms(result.cloud_ms);
+  if (obs::enabled()) {
+    obs::count("cadmc.cloud.calls");
+    obs::count("cadmc.cloud.bytes_tx",
+               static_cast<std::int64_t>(request.size()));
+    obs::count("cadmc.cloud.bytes_rx",
+               static_cast<std::int64_t>(response.size()));
+  }
   return result;
 }
 

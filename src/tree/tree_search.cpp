@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "latency/transfer_model.h"
+#include "obs/span.h"
 
 namespace cadmc::tree {
 
@@ -51,8 +52,10 @@ void TreeSearch::generate_forward(ModelTree& tree, util::Rng& rng, double alpha,
         alpha * static_cast<double>(num_blocks - j) / static_cast<double>(num_blocks);
     const auto p = partition_.sample(d.block_features, rng);
     int action = p.action;
-    if (config_.fair_chance && rng.bernoulli(force_prob))
+    if (config_.fair_chance && rng.bernoulli(force_prob)) {
       action = static_cast<int>(block_len);  // no partition
+      obs::count("cadmc.search.forced_actions");
+    }
     d.partition_action = action;
     node->cut_local = static_cast<std::size_t>(action);
 
@@ -136,6 +139,7 @@ double TreeSearch::tree_expected_reward(const ModelTree& tree) const {
 }
 
 TreeSearchResult TreeSearch::run() {
+  obs::ScopedSpan run_span("tree_search");
   util::Rng rng(config_.seed);
   TreeSearchResult result{
       ModelTree(evaluator_->base(), boundaries_, fork_bandwidths_),
@@ -144,6 +148,7 @@ TreeSearchResult TreeSearch::run() {
   // Optimal-branch boosting: search a branch per bandwidth type and graft
   // each onto the all-k path of the incumbent tree (Sec. VII-A).
   if (config_.boost_with_branches) {
+    obs::ScopedSpan boost_span("boost_branches");
     for (std::size_t k = 0; k < fork_bandwidths_.size(); ++k) {
       engine::BranchSearchConfig bc = config_.branch_config;
       bc.seed = config_.seed ^ (0xB0057ULL + k);
@@ -164,6 +169,8 @@ TreeSearchResult TreeSearch::run() {
     for (std::size_t k = 0; k < result.branch_results.size(); ++k)
       result.tree.graft_branch(static_cast<int>(k),
                                result.branch_results[k].best);
+    obs::count("cadmc.search.grafts",
+               static_cast<std::int64_t>(1 + result.branch_results.size()));
   }
   estimate_backward(result.tree);
   result.tree_reward = result.tree.root().reward;
@@ -174,6 +181,7 @@ TreeSearchResult TreeSearch::run() {
     ModelTree boosted(evaluator_->base(), boundaries_, fork_bandwidths_);
     boosted.graft_everywhere(strategy);
     estimate_backward(boosted);
+    obs::count("cadmc.search.grafts");
     if (boosted.root().reward > result.tree_reward) {
       result.tree_reward = boosted.root().reward;
       result.tree = boosted;
@@ -200,6 +208,14 @@ TreeSearchResult TreeSearch::run() {
     }
     const double b = baseline.value();
     baseline.advantage(tree_reward);  // fold the episode into the EMA
+    if (obs::enabled()) {
+      obs::count("cadmc.search.episodes");
+      obs::observe("cadmc.search.reward", tree_reward);
+      obs::observe("cadmc.search.advantage", tree_reward - b);
+      obs::set_gauge("cadmc.search.baseline", b);
+      obs::set_gauge("cadmc.search.best_reward", result.tree_reward);
+      obs::set_gauge("cadmc.search.alpha", alpha);
+    }
 
     // Controller updates with each node's action-reward pair (Alg. 3 line 33).
     partition_.zero_grad();

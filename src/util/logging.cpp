@@ -1,13 +1,21 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <iostream>
 #include <mutex>
+#include <thread>
+
+#include "util/string_util.h"
 
 namespace cadmc::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::once_flag g_env_once;
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -20,15 +28,64 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+// CADMC_LOG_LEVEL is applied exactly once, lazily; an explicit
+// set_log_level() consumes the once-flag first so the environment can never
+// clobber a level the program chose.
+void apply_env_level() {
+  const char* env = std::getenv("CADMC_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (const auto level = parse_log_level(env)) g_level.store(*level);
+}
+
+std::string timestamp_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto ms = duration_cast<milliseconds>(now.time_since_epoch()) % 1000;
+  const std::time_t t = system_clock::to_time_t(now);
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03d",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms.count()));
+  return buf;
+}
+
+std::string thread_tag() {
+  const auto id = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "T%04x", static_cast<unsigned>(id & 0xFFFF));
+  return buf;
+}
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  const std::string v = to_lower(trim(name));
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off" || v == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void set_log_level(LogLevel level) {
+  std::call_once(g_env_once, [] {});  // explicit choice beats the environment
+  g_level.store(level);
+}
+
+LogLevel log_level() {
+  std::call_once(g_env_once, apply_env_level);
+  return g_level.load();
+}
 
 void log_line(LogLevel level, const std::string& msg) {
+  std::call_once(g_env_once, apply_env_level);
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+  std::cerr << "[" << timestamp_now() << "] [" << thread_tag() << "] ["
+            << level_name(level) << "] " << msg << "\n";
 }
 
 }  // namespace cadmc::util

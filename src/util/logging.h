@@ -1,7 +1,8 @@
 // Minimal leveled logger. Thread-safe, no global mutable configuration beyond
-// the level, deterministic output format suitable for test greps.
+// the level, deterministic "[LEVEL]" token suitable for test greps.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -10,11 +11,18 @@ namespace cadmc::util {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Sets the minimum level that will be emitted. Defaults to kWarn so tests
-/// and benches stay quiet unless they opt in.
+/// and benches stay quiet unless they opt in. The CADMC_LOG_LEVEL
+/// environment variable (debug|info|warn|error|off) is honored at first use
+/// and overrides the default; an explicit set_log_level always wins.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line to stderr: "[LEVEL] message".
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+std::optional<LogLevel> parse_log_level(const std::string& name);
+
+/// Emits one line to stderr:
+/// "[YYYY-MM-DDTHH:MM:SS.mmm] [T<tid>] [LEVEL] message" — the timestamp and
+/// thread-id prefix make interleaved edge/cloud logs attributable.
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -1,5 +1,6 @@
 #include "util/string_util.h"
 
+#include <cctype>
 #include <cstdio>
 #include <sstream>
 
@@ -39,6 +40,12 @@ std::string trim(const std::string& s) {
 
 bool starts_with(const std::string& s, const std::string& prefix) {
   return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string to_lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
 }
 
 std::string format_double(double v, int decimals) {

@@ -9,6 +9,7 @@ std::vector<std::string> split(const std::string& s, char delim);
 std::string join(const std::vector<std::string>& parts, const std::string& sep);
 std::string trim(const std::string& s);
 bool starts_with(const std::string& s, const std::string& prefix);
+std::string to_lower(const std::string& s);
 
 /// printf-style double formatting with fixed decimals.
 std::string format_double(double v, int decimals);

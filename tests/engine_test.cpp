@@ -13,6 +13,9 @@
 #include "engine/strategy.h"
 #include "latency/device_profile.h"
 #include "nn/factory.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "runtime/decision_engine.h"
 
 namespace cadmc::engine {
 namespace {
@@ -310,6 +313,45 @@ TEST_F(StrategyFixture, CloudSuffixDecreasesWithCut) {
     prev = ms;
   }
   EXPECT_DOUBLE_EQ(evaluator_.cloud_suffix_latency_ms(base_.size()), 0.0);
+}
+
+TEST(Observability, DecisionEngineInferPopulatesSpansAndCounters) {
+  // The facade's pipeline spans land in the injected registry; offline-search
+  // metrics (cadmc.search.*) always go to the global one.
+  obs::MetricsRegistry::global().reset();
+  obs::set_enabled(true);
+
+  obs::MetricsRegistry local;
+  runtime::EngineConfig config;
+  config.scene = net::scene_by_name("4G indoor static");
+  config.base_accuracy = 0.84;
+  config.trace_duration_ms = 20'000.0;
+  config.tree_config.episodes = 5;
+  config.tree_config.branch_config.episodes = 8;
+  config.metrics = &local;
+  runtime::DecisionEngine engine(nn::make_alexnet(), std::move(config));
+  EXPECT_EQ(&engine.metrics(), &local);
+  engine.train_offline();
+
+  util::Rng rng(61);
+  const auto x = tensor::Tensor::randn({1, 3, 32, 32}, rng, 0.3f);
+  (void)engine.infer(x, 0.0);
+  obs::set_enabled(false);
+
+  const obs::RunReport report = obs::make_report(local);
+  for (const char* name :
+       {"infer", "compose", "estimate", "realize", "edge_exec", "transfer",
+        "cloud_exec"})
+    EXPECT_EQ(report.spans.count(name), 1u) << "missing span: " << name;
+  EXPECT_EQ(report.spans.at("infer").depth, 0);
+  EXPECT_GT(report.spans.at("compose").depth, 0);
+  EXPECT_EQ(report.counters.at("cadmc.runtime.inferences"), 1);
+  EXPECT_EQ(report.histograms.at("cadmc.runtime.latency_ms").count, 1u);
+
+  const auto global = obs::MetricsRegistry::global().counter_values();
+  EXPECT_EQ(global.at("cadmc.search.episodes"), 5);
+  EXPECT_GE(global.at("cadmc.search.branch_episodes"), 8);
+  obs::MetricsRegistry::global().reset();
 }
 
 }  // namespace

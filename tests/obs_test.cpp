@@ -1,0 +1,255 @@
+// Observability tests: counter/gauge/histogram math (including quantile
+// edges and 4-thread concurrent increments), span nesting with parent/child
+// ids and modelled-ms fields, the disabled fast path, JSONL round-trip, and
+// report rendering.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/csv.h"
+
+namespace cadmc::obs {
+namespace {
+
+/// Turns collection on for a test and restores the previous state (the
+/// global flag is process-wide).
+class EnabledGuard {
+ public:
+  explicit EnabledGuard(bool on) : prev_(enabled()) { set_enabled(on); }
+  ~EnabledGuard() { set_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(Counter, AddAndReset) {
+  MetricsRegistry reg;
+  reg.counter("cadmc.test.hits").add(1);
+  reg.counter("cadmc.test.hits").add(41);
+  EXPECT_EQ(reg.counter("cadmc.test.hits").value(), 42);
+  reg.counter("cadmc.test.hits").reset();
+  EXPECT_EQ(reg.counter("cadmc.test.hits").value(), 0);
+}
+
+TEST(Counter, ConcurrentIncrementsFromFourThreads) {
+  MetricsRegistry reg;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i)
+        reg.counter("cadmc.test.concurrent").add(1);
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter("cadmc.test.concurrent").value(), 4 * kPerThread);
+}
+
+TEST(Gauge, LastWriteWins) {
+  MetricsRegistry reg;
+  reg.gauge("cadmc.test.bw").set(3.5);
+  reg.gauge("cadmc.test.bw").set(-1.25);
+  EXPECT_DOUBLE_EQ(reg.gauge("cadmc.test.bw").value(), -1.25);
+}
+
+TEST(Histogram, BucketCountsSumMinMax) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("cadmc.test.lat", {1.0, 10.0, 100.0});
+  for (double v : {0.5, 0.9, 5.0, 50.0, 500.0}) h.observe(v);
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.bounds.size(), 3u);
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);  // <= 1
+  EXPECT_EQ(s.counts[1], 1u);  // <= 10
+  EXPECT_EQ(s.counts[2], 1u);  // <= 100
+  EXPECT_EQ(s.counts[3], 1u);  // overflow
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 556.4);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 500.0);
+}
+
+TEST(Histogram, QuantileEdges) {
+  MetricsRegistry reg;
+  // Empty histogram: all zeros.
+  const HistogramSnapshot empty = reg.histogram("cadmc.test.empty").snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+  // Single sample: every quantile equals it.
+  Histogram& one = reg.histogram("cadmc.test.one");
+  one.observe(7.25);
+  const HistogramSnapshot s1 = one.snapshot();
+  EXPECT_DOUBLE_EQ(s1.p50, 7.25);
+  EXPECT_DOUBLE_EQ(s1.p90, 7.25);
+  EXPECT_DOUBLE_EQ(s1.p99, 7.25);
+  // Uniform 1..100: interpolated quantiles land where expected.
+  Histogram& uni = reg.histogram("cadmc.test.uniform");
+  for (int i = 100; i >= 1; --i) uni.observe(i);  // unsorted insertion order
+  const HistogramSnapshot su = uni.snapshot();
+  EXPECT_NEAR(su.p50, 50.5, 1e-9);
+  EXPECT_NEAR(su.p90, 90.1, 1e-9);
+  EXPECT_NEAR(su.p99, 99.01, 1e-9);
+}
+
+TEST(Histogram, DefaultBoundsAreSorted) {
+  const auto bounds = Histogram::default_bounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i)
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(Span, NestingRecordsParentChildAndDepth) {
+  EnabledGuard guard(true);
+  MetricsRegistry reg;
+  {
+    ScopedSpan outer("outer", &reg);
+    {
+      ScopedSpan inner("inner", &reg);
+      inner.set_modelled_ms(12.5);
+    }
+  }
+  const auto spans = reg.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Spans close inner-first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].parent_id, spans[1].id);
+  EXPECT_EQ(spans[1].parent_id, 0u);
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_EQ(spans[1].depth, 0);
+  EXPECT_DOUBLE_EQ(spans[0].modelled_ms, 12.5);
+  EXPECT_GE(spans[1].wall_ms, spans[0].wall_ms);
+  // Wall durations feed the per-name span histograms.
+  EXPECT_EQ(reg.histogram("cadmc.span.inner").snapshot().count, 1u);
+}
+
+TEST(Span, SeparateRegistriesDoNotAdoptForeignParents) {
+  EnabledGuard guard(true);
+  MetricsRegistry a, b;
+  {
+    ScopedSpan outer("outer", &a);
+    ScopedSpan other("other", &b);
+  }
+  ASSERT_EQ(b.spans().size(), 1u);
+  EXPECT_EQ(b.spans()[0].parent_id, 0u);
+  EXPECT_EQ(b.spans()[0].depth, 0);
+}
+
+TEST(Span, DisabledIsInert) {
+  EnabledGuard guard(false);
+  MetricsRegistry reg;
+  {
+    ScopedSpan span("ghost", &reg);
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(reg.spans().empty());
+  EXPECT_TRUE(reg.histogram_values().empty());
+}
+
+TEST(Helpers, GatedByEnabledFlag) {
+  // Helpers write to the global registry only while enabled.
+  MetricsRegistry::global().reset();
+  {
+    EnabledGuard off(false);
+    count("cadmc.test.gated");
+    observe("cadmc.test.gated_ms", 5.0);
+    set_gauge("cadmc.test.gated_gauge", 1.0);
+  }
+  EXPECT_TRUE(MetricsRegistry::global().counter_values().empty());
+  {
+    EnabledGuard on(true);
+    count("cadmc.test.gated", 3);
+    observe("cadmc.test.gated_ms", 5.0);
+  }
+  EXPECT_EQ(MetricsRegistry::global().counter("cadmc.test.gated").value(), 3);
+  MetricsRegistry::global().reset();
+}
+
+TEST(Export, JsonlRoundTrip) {
+  EnabledGuard guard(true);
+  MetricsRegistry reg;
+  reg.counter("cadmc.test.count").add(7);
+  reg.gauge("cadmc.test.gauge").set(2.5);
+  reg.histogram("cadmc.test.hist").observe(10.0);
+  reg.histogram("cadmc.test.hist").observe(20.0);
+  { ScopedSpan span("stage \"x\"", &reg); }
+
+  const std::string jsonl = to_jsonl(reg);
+  const auto events = parse_jsonl(jsonl);
+  ASSERT_EQ(events.size(), 5u);  // counter + gauge + hist + span hist + span
+
+  const RunReport report = report_from_events(events);
+  EXPECT_EQ(report.counters.at("cadmc.test.count"), 7);
+  EXPECT_DOUBLE_EQ(report.gauges.at("cadmc.test.gauge"), 2.5);
+  const HistogramSnapshot& h = report.histograms.at("cadmc.test.hist");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.sum, 30.0);
+  EXPECT_DOUBLE_EQ(h.p50, 15.0);
+  // The escaped span name survives the round trip.
+  ASSERT_TRUE(report.spans.count("stage \"x\""));
+  EXPECT_EQ(report.spans.at("stage \"x\"").count, 1u);
+
+  // And the regenerated report matches the direct snapshot.
+  const RunReport direct = make_report(reg);
+  EXPECT_EQ(direct.counters, report.counters);
+  EXPECT_EQ(direct.spans.at("stage \"x\"").count, 1u);
+}
+
+TEST(Export, ExportJsonlWritesFile) {
+  EnabledGuard guard(true);
+  MetricsRegistry reg;
+  reg.counter("cadmc.test.file").add(1);
+  const std::string path = ::testing::TempDir() + "cadmc_obs_test.jsonl";
+  ASSERT_TRUE(export_jsonl(reg, path));
+  std::string text;
+  ASSERT_TRUE(util::read_file(path, text));
+  const auto events = parse_jsonl(text);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("type"), "counter");
+  EXPECT_EQ(events[0].at("name"), "cadmc.test.file");
+  EXPECT_EQ(events[0].at("value"), "1");
+}
+
+TEST(Export, RenderReportMentionsEveryMetric) {
+  EnabledGuard guard(true);
+  MetricsRegistry reg;
+  reg.counter("cadmc.area.hits").add(2);
+  reg.gauge("cadmc.area.level").set(0.5);
+  reg.histogram("cadmc.area.ms").observe(1.0);
+  { ScopedSpan span("stagename", &reg); }
+  const std::string text = render_report(make_report(reg));
+  EXPECT_NE(text.find("cadmc.area.hits"), std::string::npos);
+  EXPECT_NE(text.find("cadmc.area.level"), std::string::npos);
+  EXPECT_NE(text.find("cadmc.area.ms"), std::string::npos);
+  EXPECT_NE(text.find("stagename"), std::string::npos);
+
+  const std::string csv = report_csv(make_report(reg));
+  EXPECT_NE(csv.find("counter,cadmc.area.hits"), std::string::npos);
+  EXPECT_NE(csv.find("span,stagename"), std::string::npos);
+}
+
+TEST(Export, EmptyRegistryRendersPlaceholder) {
+  MetricsRegistry reg;
+  EXPECT_NE(render_report(make_report(reg)).find("no metrics"),
+            std::string::npos);
+}
+
+TEST(Registry, ResetDropsEverything) {
+  EnabledGuard guard(true);
+  MetricsRegistry reg;
+  reg.counter("a").add(1);
+  reg.gauge("b").set(1.0);
+  reg.histogram("c").observe(1.0);
+  { ScopedSpan span("d", &reg); }
+  reg.reset();
+  EXPECT_TRUE(reg.counter_values().empty());
+  EXPECT_TRUE(reg.gauge_values().empty());
+  EXPECT_TRUE(reg.histogram_values().empty());
+  EXPECT_TRUE(reg.spans().empty());
+}
+
+}  // namespace
+}  // namespace cadmc::obs

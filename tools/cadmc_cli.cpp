@@ -9,6 +9,11 @@
 //   cadmc compose --model vgg11 --tree tree.txt --bandwidth-mbps 2.5
 //   cadmc emulate --model vgg11 --device phone --scene "4G (weak) indoor"
 //                 [--inferences 40] [--field]
+//   cadmc report  --metrics run.metrics.jsonl
+//
+// Any subcommand accepts --metrics-out <path>: it enables metric/span
+// collection, writes the JSONL event stream there on exit, and prints the
+// aggregate run report. `cadmc report` re-renders a saved stream.
 //
 // Every subcommand is deterministic for a given --seed.
 #include <cstdio>
@@ -18,7 +23,9 @@
 #include "bench/common.h"
 #include "latency/compute_model.h"
 #include "latency/device_profile.h"
+#include "obs/export.h"
 #include "tree/tree_io.h"
+#include "util/csv.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -211,6 +218,23 @@ int cmd_emulate(const Flags& flags) {
   return 0;
 }
 
+int cmd_report(const Flags& flags) {
+  const std::string path = flag_or(flags, "metrics", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "--metrics <file.jsonl> is required\n");
+    return 2;
+  }
+  std::string text;
+  if (!util::read_file(path, text)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  const auto events = obs::parse_jsonl(text);
+  std::printf("%zu events in %s\n%s", events.size(), path.c_str(),
+              obs::render_report(obs::report_from_events(events)).c_str());
+  return 0;
+}
+
 void usage() {
   std::printf(
       "cadmc <command> [flags]\n"
@@ -219,7 +243,22 @@ void usage() {
       "  trace   --scene S [--out f.csv]      generate a bandwidth trace\n"
       "  train   --model M --device D --scene S [--out tree.txt]\n"
       "  compose --model M --tree f --bandwidth-mbps X\n"
-      "  emulate --model M --device D --scene S [--field]\n");
+      "  emulate --model M --device D --scene S [--field]\n"
+      "  report  --metrics run.metrics.jsonl  render a saved metrics stream\n"
+      "Any command also takes --metrics-out <path> to collect and save\n"
+      "a metrics/span JSONL stream and print the run report on exit.\n");
+}
+
+int dispatch(const std::string& command, const Flags& flags) {
+  if (command == "scenes") return cmd_scenes();
+  if (command == "profile") return cmd_profile(flags);
+  if (command == "trace") return cmd_trace(flags);
+  if (command == "train") return cmd_train(flags);
+  if (command == "compose") return cmd_compose(flags);
+  if (command == "emulate") return cmd_emulate(flags);
+  if (command == "report") return cmd_report(flags);
+  usage();
+  return 2;
 }
 
 }  // namespace
@@ -231,17 +270,23 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Flags flags = parse_flags(argc, argv, 2);
+  obs::init_from_env();
+  const std::string metrics_out = flag_or(flags, "metrics-out", "");
+  if (!metrics_out.empty()) obs::set_enabled(true);
+  int rc;
   try {
-    if (command == "scenes") return cmd_scenes();
-    if (command == "profile") return cmd_profile(flags);
-    if (command == "trace") return cmd_trace(flags);
-    if (command == "train") return cmd_train(flags);
-    if (command == "compose") return cmd_compose(flags);
-    if (command == "emulate") return cmd_emulate(flags);
+    rc = dispatch(command, flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  usage();
-  return 2;
+  if (!metrics_out.empty()) {
+    const auto& registry = obs::MetricsRegistry::global();
+    if (obs::export_jsonl(registry, metrics_out))
+      std::printf("\nmetrics saved to %s\n", metrics_out.c_str());
+    else
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+    std::printf("%s", obs::render_report(obs::make_report(registry)).c_str());
+  }
+  return rc;
 }
