@@ -15,8 +15,12 @@ BandwidthEstimator::BandwidthEstimator(const BandwidthTrace& trace,
 }
 
 double BandwidthEstimator::estimate_at(double t_ms) {
-  const double measured = trace_.at(std::max(0.0, t_ms - staleness_ms_));
-  return ema_.update(measured);
+  // Blackout samples are zero; clamp anything non-positive before feeding
+  // the EWMA so a dead window cannot decay the estimate to a bandwidth that
+  // divides to infinity downstream (TransferModel rejects bw <= 0).
+  const double measured =
+      std::max(0.0, trace_.at(std::max(0.0, t_ms - staleness_ms_)));
+  return std::max(ema_.update(measured), kMinBandwidth);
 }
 
 }  // namespace cadmc::net

@@ -12,6 +12,12 @@ namespace cadmc::net {
 
 class BandwidthEstimator {
  public:
+  /// Estimates never drop below this floor (bytes/ms, ~8 kbps): blackout
+  /// samples are zero and an EWMA fed zeros decays toward a bandwidth that
+  /// downstream latency models would divide by. The floor keeps estimates
+  /// finite-latency while still signalling "effectively dead" to policies.
+  static constexpr double kMinBandwidth = 1e-3;
+
   /// `staleness_ms`: measurements reflect the link this long ago.
   /// `alpha`: EWMA smoothing weight of the newest measurement.
   BandwidthEstimator(const BandwidthTrace& trace, double staleness_ms,

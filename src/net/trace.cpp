@@ -12,8 +12,10 @@ namespace cadmc::net {
 BandwidthTrace::BandwidthTrace(double dt_ms, std::vector<double> samples)
     : dt_ms_(dt_ms), samples_(std::move(samples)) {
   if (dt_ms <= 0.0) throw std::invalid_argument("BandwidthTrace: dt_ms <= 0");
+  // Zero is a legal sample (link blackout — see runtime::FaultInjector);
+  // negative/NaN bandwidth is not.
   for (double s : samples_)
-    if (!(s > 0.0)) throw std::invalid_argument("BandwidthTrace: non-positive sample");
+    if (!(s >= 0.0)) throw std::invalid_argument("BandwidthTrace: negative sample");
 }
 
 double BandwidthTrace::at(double t_ms) const {

@@ -12,7 +12,9 @@ namespace cadmc::net {
 class BandwidthTrace {
  public:
   BandwidthTrace() = default;
-  /// `samples` are bandwidths in bytes/ms at multiples of `dt_ms`.
+  /// `samples` are bandwidths in bytes/ms at multiples of `dt_ms`. A zero
+  /// sample is a link blackout (the fault layer splices these in); negative
+  /// samples are rejected.
   BandwidthTrace(double dt_ms, std::vector<double> samples);
 
   double dt_ms() const { return dt_ms_; }

@@ -9,7 +9,9 @@
 namespace cadmc::runtime {
 
 DecisionEngine::DecisionEngine(nn::Model base, EngineConfig config)
-    : base_(std::move(base)), config_(std::move(config)) {
+    : base_(std::move(base)),
+      config_(std::move(config)),
+      breaker_(config_.breaker, config_.metrics) {
   if (config_.num_forks < 1)
     throw std::invalid_argument("DecisionEngine: num_forks < 1");
   trace_ = net::generate_trace(config_.scene.trace, config_.trace_duration_ms,
@@ -97,6 +99,26 @@ DecisionEngine::InferenceOutcome DecisionEngine::infer(
   }
   outcome.strategy = composition.strategy;
   outcome.forks = composition.forks;
+
+  // Graceful degradation: if the composed path offloads but the link is
+  // effectively dead (estimate pinned at the floor, or a blackout at the
+  // moment of transfer) or the cloud breaker is open, take the all-edge
+  // branch instead — the cut moves to the end and the suffix stays
+  // uncompressed, exactly the uncompressed-prefix fork the tree keeps.
+  if (outcome.strategy.cut < base_.size()) {
+    const bool link_dead =
+        (!composition.observed_bandwidths.empty() &&
+         composition.observed_bandwidths.back() <= config_.dead_link_bandwidth) ||
+        trace_.at(t_ms) <= 0.0;
+    if (link_dead || !breaker_.allow_request()) {
+      outcome.strategy.cut = base_.size();
+      outcome.degraded = true;
+      if (obs::enabled()) {
+        reg.counter("cadmc.runtime.fault.edge_fallbacks").add(1);
+        if (link_dead) reg.counter("cadmc.runtime.fault.dead_link_detected").add(1);
+      }
+    }
+  }
 
   engine::RealizedStrategy realized = [&] {
     obs::ScopedSpan realize_span("realize", &reg);

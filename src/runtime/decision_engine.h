@@ -10,6 +10,7 @@
 
 #include "net/scenes.h"
 #include "runtime/emulator.h"
+#include "runtime/fault.h"
 #include "tree/tree_search.h"
 
 namespace cadmc::obs {
@@ -32,6 +33,13 @@ struct EngineConfig {
   // (cadmc.runtime.*); null means the global registry. Offline-search
   // metrics (cadmc.search.*) always go to the global registry.
   obs::MetricsRegistry* metrics = nullptr;
+  // Fault tolerance: when the composed strategy offloads but the estimated
+  // bandwidth at the cut is at/below this threshold (bytes/ms — the
+  // estimator floor means "link effectively dead"), or the cloud breaker is
+  // open, infer() degrades to the all-edge branch of the tree (cut moved to
+  // the end; the suffix fork is uncompressed by construction).
+  double dead_link_bandwidth = net::BandwidthEstimator::kMinBandwidth;
+  CircuitBreakerConfig breaker;
 };
 
 class DecisionEngine {
@@ -68,8 +76,16 @@ class DecisionEngine {
     engine::Strategy strategy;
     std::vector<int> forks;
     double latency_ms = 0.0;
+    bool degraded = false;  // edge-only fallback (dead link / open breaker)
   };
   InferenceOutcome infer(const tensor::Tensor& input, double t_ms);
+
+  /// Cloud circuit breaker honored by infer(). The engine itself runs
+  /// locally, so cloud outcomes are recorded by whoever owns the transport
+  /// (e.g. a field loop calling breaker().record_failure() on deadline
+  /// misses); once open, infer() composes the all-edge branch until a probe
+  /// is due.
+  CircuitBreaker& breaker() { return breaker_; }
 
   /// Metrics registry this engine records into (EngineConfig::metrics or the
   /// global default). Collection only happens while obs::enabled().
@@ -89,6 +105,7 @@ class DecisionEngine {
   std::optional<tree::TreeSearchResult> search_result_;
   compress::TechniqueRegistry faithful_registry_;
   util::Rng realize_rng_{0xFA17};
+  CircuitBreaker breaker_;
 };
 
 }  // namespace cadmc::runtime

@@ -1,9 +1,11 @@
 #include "runtime/emulator.h"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "runtime/shaper.h"
+#include "util/stats.h"
 
 namespace cadmc::runtime {
 
@@ -37,6 +39,8 @@ double InferenceRunner::block_compute_ms(Timeline& tl, const Strategy& strategy,
     // real hardware (Sec. VII-B3).
     ms *= std::exp(tl.rng.normal(0.0, config_.field_compute_noise));
   }
+  if (config_.injector != nullptr)
+    ms *= config_.injector->next_straggler_factor();
   return ms;
 }
 
@@ -44,15 +48,56 @@ double InferenceRunner::transfer_ms(Timeline& tl, std::int64_t bytes) const {
   const auto& tm = evaluator_->partition_eval().transfer_model();
   if (config_.mode == TimingMode::kEstimated) {
     // Emulation: transfer priced at the true instantaneous bandwidth when
-    // the offload starts.
-    return tm.latency_ms(bytes, trace_.at(tl.t_ms));
+    // the offload starts. A blackout sample means the payload cannot move.
+    const double bw = trace_.at(tl.t_ms);
+    if (bw <= 0.0) return std::numeric_limits<double>::infinity();
+    return tm.latency_ms(bytes, bw);
   }
   // Field: the payload drains through every fluctuation the link has while
-  // it is in flight.
+  // it is in flight (+inf when the trace ends in a dead link).
   return shaped_transfer_ms(trace_, tl.t_ms, bytes, tm.rtt_ms, tm.size_coeff);
 }
 
-double InferenceRunner::execute(Timeline& tl, const Strategy& strategy) const {
+InferenceRunner::FaultState InferenceRunner::make_fault_state() const {
+  return FaultState{CircuitBreaker(config_.breaker), 0, 0, 0};
+}
+
+void InferenceRunner::offload_tail(Timeline& tl, const Strategy& strategy,
+                                   FaultState& fs) const {
+  const nn::Model& base = evaluator_->base();
+  if (strategy.cut >= base.size()) return;
+  const std::int64_t bytes = base.boundary_bytes()[strategy.cut];
+  const double deadline = config_.cloud_deadline_ms;
+  bool served_by_cloud = false;
+  if (deadline <= 0.0 || fs.breaker.allow_request()) {
+    const double cloud_total = transfer_ms(tl, bytes) +
+                               evaluator_->cloud_suffix_latency_ms(strategy.cut);
+    if (deadline > 0.0 &&
+        (!std::isfinite(cloud_total) || cloud_total > deadline)) {
+      // The miss is only detected when the deadline fires; that wait is the
+      // price of the failed attempt.
+      fs.breaker.record_failure();
+      ++fs.deadline_misses;
+      tl.t_ms += deadline;
+    } else {
+      if (deadline > 0.0) fs.breaker.record_success();
+      tl.t_ms += cloud_total;
+      served_by_cloud = true;
+    }
+  }
+  if (served_by_cloud) return;
+  if (config_.edge_fallback) {
+    // Run the uncompressed suffix locally (the tree's all-edge fork): the
+    // same logits arrive, later and at edge-device prices.
+    ++fs.edge_fallbacks;
+    tl.t_ms += block_compute_ms(tl, strategy, strategy.cut, base.size());
+  } else {
+    ++fs.failures;
+  }
+}
+
+double InferenceRunner::execute(Timeline& tl, const Strategy& strategy,
+                                FaultState& fs) const {
   const nn::Model& base = evaluator_->base();
   std::vector<std::size_t> edges{0};
   for (std::size_t b : boundaries_) edges.push_back(b);
@@ -65,15 +110,13 @@ double InferenceRunner::execute(Timeline& tl, const Strategy& strategy) const {
     tl.t_ms += block_compute_ms(tl, strategy, begin, std::min(end, strategy.cut));
     if (strategy.cut <= end) break;
   }
-  if (strategy.cut < base.size()) {
-    tl.t_ms += transfer_ms(tl, base.boundary_bytes()[strategy.cut]);
-    tl.t_ms += evaluator_->cloud_suffix_latency_ms(strategy.cut);
-  }
+  offload_tail(tl, strategy, fs);
   return tl.t_ms - t_start;
 }
 
 RunStats InferenceRunner::summarize(const std::vector<Strategy>& strategies,
-                                    const std::vector<double>& latencies) const {
+                                    const std::vector<double>& latencies,
+                                    const FaultState& fs) const {
   RunStats stats;
   stats.inferences = static_cast<int>(latencies.size());
   for (std::size_t i = 0; i < latencies.size(); ++i) {
@@ -86,7 +129,15 @@ RunStats InferenceRunner::summarize(const std::vector<Strategy>& strategies,
     stats.mean_latency_ms /= stats.inferences;
     stats.mean_accuracy /= stats.inferences;
     stats.mean_reward /= stats.inferences;
+    stats.p99_latency_ms = util::quantile(latencies, 0.99);
   }
+  stats.deadline_misses = fs.deadline_misses;
+  stats.edge_fallbacks = fs.edge_fallbacks;
+  stats.failures = fs.failures;
+  stats.availability =
+      stats.inferences > 0
+          ? 1.0 - static_cast<double>(fs.failures) / stats.inferences
+          : 1.0;
   return stats;
 }
 
@@ -94,6 +145,7 @@ RunStats InferenceRunner::run_surgery() const {
   const nn::Model& base = evaluator_->base();
   std::vector<Strategy> strategies;
   std::vector<double> latencies;
+  FaultState fs = make_fault_state();
   for (int i = 0; i < config_.inferences; ++i) {
     const double staleness =
         config_.estimator_staleness_ms +
@@ -106,29 +158,31 @@ RunStats InferenceRunner::run_surgery() const {
     s.plan.assign(base.size(), compress::TechniqueId::kNone);
     s.cut = partition::surgery_cut_for_chain(base, evaluator_->partition_eval(),
                                              bw_est);
-    latencies.push_back(execute(tl, s));
+    latencies.push_back(execute(tl, s, fs));
     strategies.push_back(std::move(s));
   }
-  return summarize(strategies, latencies);
+  return summarize(strategies, latencies, fs);
 }
 
 RunStats InferenceRunner::run_branch(const Strategy& strategy) const {
   std::vector<Strategy> strategies;
   std::vector<double> latencies;
+  FaultState fs = make_fault_state();
   for (int i = 0; i < config_.inferences; ++i) {
     Timeline tl{start_time(i),
                 net::BandwidthEstimator(trace_, config_.estimator_staleness_ms,
                                         config_.estimator_alpha),
                 util::Rng(config_.seed ^ (0xB00u + static_cast<unsigned>(i)))};
-    latencies.push_back(execute(tl, strategy));
+    latencies.push_back(execute(tl, strategy, fs));
     strategies.push_back(strategy);
   }
-  return summarize(strategies, latencies);
+  return summarize(strategies, latencies, fs);
 }
 
 RunStats InferenceRunner::run_tree(const tree::ModelTree& tree) const {
   std::vector<Strategy> strategies;
   std::vector<double> latencies;
+  FaultState fs = make_fault_state();
   for (int i = 0; i < config_.inferences; ++i) {
     const double staleness =
         config_.estimator_staleness_ms +
@@ -163,14 +217,11 @@ RunStats InferenceRunner::run_tree(const tree::ModelTree& tree) const {
         break;
       }
     }
-    if (s.cut < base.size()) {
-      tl.t_ms += transfer_ms(tl, base.boundary_bytes()[s.cut]);
-      tl.t_ms += evaluator_->cloud_suffix_latency_ms(s.cut);
-    }
+    offload_tail(tl, s, fs);
     latencies.push_back(tl.t_ms - t_start);
     strategies.push_back(std::move(s));
   }
-  return summarize(strategies, latencies);
+  return summarize(strategies, latencies, fs);
 }
 
 }  // namespace cadmc::runtime

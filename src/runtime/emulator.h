@@ -16,6 +16,7 @@
 #include "net/estimator.h"
 #include "net/scenes.h"
 #include "partition/surgery.h"
+#include "runtime/fault.h"
 #include "tree/model_tree.h"
 
 namespace cadmc::runtime {
@@ -27,6 +28,12 @@ struct RunStats {
   double mean_accuracy = 0.0;
   double mean_reward = 0.0;
   int inferences = 0;
+  // Fault accounting (all zero when no cloud deadline is configured).
+  double p99_latency_ms = 0.0;
+  int deadline_misses = 0;   // cloud path abandoned at the deadline
+  int edge_fallbacks = 0;    // inferences served by the local suffix
+  int failures = 0;          // unserved inferences (fallback disabled)
+  double availability = 1.0; // served / total
 };
 
 struct RunnerConfig {
@@ -37,6 +44,17 @@ struct RunnerConfig {
   double field_compute_noise = 0.10;   // lognormal sigma on block compute (field)
   double field_staleness_extra_ms = 300.0;  // extra estimate staleness (field)
   std::uint64_t seed = 0xF1E1D;
+  // Fault tolerance. A positive deadline bounds the cloud leg
+  // (transfer + cloud compute) of each inference: a miss costs the deadline
+  // wait, trips the breaker, and — when `edge_fallback` — the uncompressed
+  // suffix runs on the edge instead (the model-tree all-edge fork). With
+  // fallback disabled a miss is a failed inference and availability drops.
+  double cloud_deadline_ms = 0.0;   // 0 = unbounded (legacy behaviour)
+  bool edge_fallback = true;
+  CircuitBreakerConfig breaker;
+  // Optional chaos source (not owned): compute stragglers inflate block
+  // latency on top of the field-mode lognormal noise.
+  FaultInjector* injector = nullptr;
 };
 
 class InferenceRunner {
@@ -66,14 +84,29 @@ class InferenceRunner {
     net::BandwidthEstimator estimator;
     util::Rng rng;
   };
+  /// Mutable fault state threaded through one run_* sweep: the breaker
+  /// persists across the sweep's inferences, mirroring a long-lived session.
+  struct FaultState {
+    CircuitBreaker breaker;
+    int deadline_misses = 0;
+    int edge_fallbacks = 0;
+    int failures = 0;
+  };
+  FaultState make_fault_state() const;
   /// Executes `strategy` starting at `tl.t_ms`, walking blocks and paying
   /// compute/transfer per the timing mode. Returns total latency.
-  double execute(Timeline& tl, const engine::Strategy& strategy) const;
+  double execute(Timeline& tl, const engine::Strategy& strategy,
+                 FaultState& fs) const;
+  /// Pays for the cloud leg at `strategy.cut` (deadline-aware), or the edge
+  /// fallback / failure when the cloud is unreachable.
+  void offload_tail(Timeline& tl, const engine::Strategy& strategy,
+                    FaultState& fs) const;
   double block_compute_ms(Timeline& tl, const engine::Strategy& strategy,
                           std::size_t begin, std::size_t end) const;
   double transfer_ms(Timeline& tl, std::int64_t bytes) const;
   RunStats summarize(const std::vector<engine::Strategy>& strategies,
-                     const std::vector<double>& latencies) const;
+                     const std::vector<double>& latencies,
+                     const FaultState& fs) const;
   double start_time(int inference_index) const;
 
   const engine::StrategyEvaluator* evaluator_;

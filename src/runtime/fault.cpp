@@ -1,0 +1,167 @@
+#include "runtime/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cadmc::runtime {
+
+namespace {
+void validate_prob(double p, const char* what) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                " outside [0,1]");
+}
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan, obs::MetricsRegistry* metrics)
+    : plan_(std::move(plan)),
+      metrics_(metrics),
+      frame_rng_(plan_.seed ^ 0xF4A3E5ULL),
+      crash_rng_(plan_.seed ^ 0xC4A54ULL),
+      straggler_rng_(plan_.seed ^ 0x57A66ULL) {
+  validate_prob(plan_.frame_drop_prob, "frame_drop_prob");
+  validate_prob(plan_.frame_corrupt_prob, "frame_corrupt_prob");
+  validate_prob(plan_.frame_truncate_prob, "frame_truncate_prob");
+  validate_prob(plan_.cloud_crash_prob, "cloud_crash_prob");
+  validate_prob(plan_.straggler_prob, "straggler_prob");
+  if (plan_.frame_drop_prob + plan_.frame_corrupt_prob +
+          plan_.frame_truncate_prob >
+      1.0)
+    throw std::invalid_argument("FaultPlan: frame fault probs sum > 1");
+  if (plan_.outage_rate_per_s < 0.0)
+    throw std::invalid_argument("FaultPlan: negative outage rate");
+  if (plan_.outage_mean_ms <= 0.0)
+    throw std::invalid_argument("FaultPlan: non-positive outage mean");
+}
+
+obs::MetricsRegistry& FaultInjector::metrics() const {
+  return metrics_ != nullptr ? *metrics_ : obs::MetricsRegistry::global();
+}
+
+net::BandwidthTrace FaultInjector::degrade_trace(
+    const net::BandwidthTrace& trace) const {
+  std::vector<double> samples = trace.samples();
+  const double dt = trace.dt_ms();
+  std::vector<BlackoutWindow> windows = plan_.blackouts;
+
+  // Sample outage starts per trace interval; an interval of dt ms sees a
+  // start with probability rate * dt / 1000 (rate is per second).
+  if (plan_.outage_rate_per_s > 0.0) {
+    util::Rng rng(plan_.seed ^ 0xB1AC0ULL);
+    const double p_start =
+        std::min(1.0, plan_.outage_rate_per_s * dt / 1000.0);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (!rng.bernoulli(p_start)) continue;
+      // Exponential duration with mean outage_mean_ms.
+      const double u = std::max(rng.uniform(), 1e-12);
+      windows.push_back({dt * static_cast<double>(i),
+                         -plan_.outage_mean_ms * std::log(u)});
+    }
+  }
+
+  std::size_t zeroed_windows = 0;
+  for (const BlackoutWindow& w : windows) {
+    if (w.duration_ms <= 0.0) continue;
+    const auto first = static_cast<std::size_t>(
+        std::max(0.0, std::floor(w.start_ms / dt)));
+    const auto last = static_cast<std::size_t>(
+        std::max(0.0, std::ceil((w.start_ms + w.duration_ms) / dt)));
+    if (first >= samples.size()) continue;
+    ++zeroed_windows;
+    for (std::size_t i = first; i < std::min(last, samples.size()); ++i)
+      samples[i] = 0.0;
+  }
+  if (obs::enabled() && zeroed_windows > 0)
+    metrics()
+        .counter("cadmc.runtime.fault.blackout_windows")
+        .add(static_cast<std::int64_t>(zeroed_windows));
+  return net::BandwidthTrace(dt, std::move(samples));
+}
+
+FrameFault FaultInjector::next_frame_fault() {
+  if (schedule_pos_ < plan_.frame_schedule.size()) {
+    const FrameFault fault = plan_.frame_schedule[schedule_pos_++];
+    if (fault != FrameFault::kNone && obs::enabled())
+      metrics().counter("cadmc.runtime.fault.scheduled_frame_faults").add(1);
+    return fault;
+  }
+  const double u = frame_rng_.uniform();
+  if (u < plan_.frame_drop_prob) {
+    if (obs::enabled()) metrics().counter("cadmc.runtime.fault.frame_drops").add(1);
+    return FrameFault::kDrop;
+  }
+  if (u < plan_.frame_drop_prob + plan_.frame_corrupt_prob) {
+    if (obs::enabled())
+      metrics().counter("cadmc.runtime.fault.frame_corruptions").add(1);
+    return FrameFault::kCorrupt;
+  }
+  if (u < plan_.frame_drop_prob + plan_.frame_corrupt_prob +
+              plan_.frame_truncate_prob) {
+    if (obs::enabled())
+      metrics().counter("cadmc.runtime.fault.frame_truncations").add(1);
+    return FrameFault::kTruncate;
+  }
+  return FrameFault::kNone;
+}
+
+bool FaultInjector::next_cloud_crash() {
+  const bool crash = crash_rng_.bernoulli(plan_.cloud_crash_prob);
+  if (crash && obs::enabled())
+    metrics().counter("cadmc.runtime.fault.cloud_crashes").add(1);
+  return crash;
+}
+
+double FaultInjector::next_straggler_factor() {
+  if (!straggler_rng_.bernoulli(plan_.straggler_prob)) return 1.0;
+  if (obs::enabled()) metrics().counter("cadmc.runtime.fault.stragglers").add(1);
+  return std::exp(std::abs(straggler_rng_.normal(0.0, plan_.straggler_sigma)));
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config,
+                               obs::MetricsRegistry* metrics)
+    : config_(config), metrics_(metrics) {
+  if (config_.failure_threshold < 1)
+    throw std::invalid_argument("CircuitBreaker: failure_threshold < 1");
+  if (config_.probe_interval < 1)
+    throw std::invalid_argument("CircuitBreaker: probe_interval < 1");
+}
+
+obs::MetricsRegistry& CircuitBreaker::metrics() const {
+  return metrics_ != nullptr ? *metrics_ : obs::MetricsRegistry::global();
+}
+
+bool CircuitBreaker::allow_request() {
+  if (state_ == State::kClosed) return true;
+  // While open, every probe_interval-th request half-opens the breaker.
+  ++open_requests_;
+  if (open_requests_ % config_.probe_interval == 0) {
+    if (obs::enabled())
+      metrics().counter("cadmc.runtime.fault.breaker_probes").add(1);
+    return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  if (state_ == State::kOpen) {
+    state_ = State::kClosed;
+    open_requests_ = 0;
+    if (obs::enabled())
+      metrics().counter("cadmc.runtime.fault.breaker_closes").add(1);
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::record_failure() {
+  ++consecutive_failures_;
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= config_.failure_threshold) {
+    state_ = State::kOpen;
+    open_requests_ = 0;
+    if (obs::enabled())
+      metrics().counter("cadmc.runtime.fault.breaker_opens").add(1);
+  }
+}
+
+}  // namespace cadmc::runtime

@@ -1,6 +1,7 @@
 #include "runtime/field.h"
 
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 namespace cadmc::runtime {
@@ -9,26 +10,75 @@ FieldSession::FieldSession(engine::RealizedStrategy realized,
                            latency::ComputeLatencyModel edge_device,
                            latency::ComputeLatencyModel cloud_device,
                            net::BandwidthTrace trace, double rtt_ms,
-                           double time_scale)
+                           double time_scale, FieldFaultConfig faults)
     : cut_(realized.cut),
       model_size_(realized.model.size()),
       edge_model_(realized.model.slice(0, realized.cut)),
+      fallback_model_(realized.model.slice(realized.cut, realized.model.size())),
       edge_device_(std::move(edge_device)),
       trace_(std::move(trace)),
       rtt_ms_(rtt_ms),
-      time_scale_(time_scale) {
+      time_scale_(time_scale),
+      faults_(faults),
+      breaker_(faults.breaker, faults.metrics) {
   if (offloads()) {
     cloud_ = std::make_unique<CloudExecutor>(
         realized.model.slice(realized.cut, realized.model.size()),
         std::move(cloud_device));
     const std::uint16_t port = cloud_->start();
-    client_.connect(port);
+    cloud_up_ = true;
+    TcpClientConfig client_config;
+    client_config.timeout_ms = faults_.cloud_deadline_ms;
+    client_config.max_retries = faults_.max_retries;
+    client_config.backoff_ms = faults_.backoff_ms;
+    client_.connect(port, client_config);
+    client_.set_fault_injector(faults_.injector);
   }
 }
 
 FieldSession::~FieldSession() {
   client_.close();
   if (cloud_) cloud_->stop();
+}
+
+obs::MetricsRegistry& FieldSession::metrics() const {
+  return faults_.metrics != nullptr ? *faults_.metrics
+                                    : obs::MetricsRegistry::global();
+}
+
+void FieldSession::kill_cloud() {
+  if (!cloud_ || !cloud_up_) return;
+  // Close the client first: the server's request loop may be blocked in
+  // recv() on this connection, and stop() joins that thread.
+  client_.close();
+  cloud_->stop();
+  cloud_up_ = false;
+}
+
+void FieldSession::restart_cloud() {
+  if (!cloud_ || cloud_up_) return;
+  const std::uint16_t port = cloud_->start();
+  cloud_up_ = true;
+  TcpClientConfig client_config;
+  client_config.timeout_ms = faults_.cloud_deadline_ms;
+  client_config.max_retries = faults_.max_retries;
+  client_config.backoff_ms = faults_.backoff_ms;
+  client_.connect(port, client_config);
+  client_.set_fault_injector(faults_.injector);
+  if (obs::enabled())
+    metrics().counter("cadmc.runtime.fault.cloud_restarts").add(1);
+}
+
+FieldOutcome FieldSession::degrade_locally(FieldOutcome outcome,
+                                           const tensor::Tensor& features) {
+  outcome.degraded = true;
+  const ExecutionResult local = execute_range(
+      fallback_model_, features, 0, fallback_model_.size(), edge_device_);
+  outcome.logits = local.output;
+  outcome.cloud_ms = local.device_ms;  // the suffix pays edge-device prices
+  if (obs::enabled())
+    metrics().counter("cadmc.runtime.fault.edge_fallbacks").add(1);
+  return outcome;
 }
 
 FieldOutcome FieldSession::infer(const tensor::Tensor& input,
@@ -45,16 +95,40 @@ FieldOutcome FieldSession::infer(const tensor::Tensor& input,
     outcome.logits = features;
     return outcome;
   }
-  outcome.transfer_ms = shaped_transfer_ms(
+  if (faults_.injector != nullptr && faults_.injector->next_cloud_crash())
+    kill_cloud();
+  if (!breaker_.allow_request()) return degrade_locally(outcome, features);
+
+  const double transfer = shaped_transfer_ms(
       trace_, t_virtual_ms + outcome.edge_ms, features.byte_size(), rtt_ms_);
+  if (!std::isfinite(transfer)) {
+    // Dead link: the payload would never arrive. Treat it as a deadline
+    // miss without sleeping on it.
+    breaker_.record_failure();
+    if (obs::enabled())
+      metrics().counter("cadmc.runtime.fault.deadline_misses").add(1);
+    outcome.transfer_ms = faults_.cloud_deadline_ms;
+    return degrade_locally(outcome, features);
+  }
+  outcome.transfer_ms = transfer;
   if (time_scale_ > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         outcome.transfer_ms * time_scale_));
   }
-  const RemoteResult remote = call_cloud(client_, features);
-  outcome.logits = remote.logits;
-  outcome.cloud_ms = remote.cloud_ms;
-  return outcome;
+  try {
+    const RemoteResult remote = call_cloud(client_, features);
+    breaker_.record_success();
+    outcome.logits = remote.logits;
+    outcome.cloud_ms = remote.cloud_ms;
+    return outcome;
+  } catch (const TransportError&) {
+    breaker_.record_failure();
+    if (obs::enabled())
+      metrics().counter("cadmc.runtime.fault.deadline_misses").add(1);
+    // The wait until the deadline fired is what the failed attempt cost.
+    outcome.transfer_ms = faults_.cloud_deadline_ms;
+    return degrade_locally(outcome, features);
+  }
 }
 
 }  // namespace cadmc::runtime

@@ -5,6 +5,14 @@
 // -> cloud forward pass -> logits back. Used by the field-demo example and
 // integration tests to prove the composed models the engine ships actually
 // run and agree with local execution.
+//
+// Fault tolerance (Sec. VII-B3: the field is where the link misbehaves):
+// cloud calls run under a deadline with bounded retry; a circuit breaker
+// counts consecutive cloud failures and, once open, answers inferences by
+// running the model suffix locally on the edge device (the uncompressed
+// suffix is exactly the all-edge fork the model tree keeps for dead links),
+// letting a periodic probe close the breaker when the cloud returns. A
+// FaultInjector can kill the cloud process or perturb transport frames.
 #pragma once
 
 #include <memory>
@@ -12,6 +20,7 @@
 #include "engine/strategy.h"
 #include "net/trace.h"
 #include "runtime/executor.h"
+#include "runtime/fault.h"
 #include "runtime/shaper.h"
 
 namespace cadmc::runtime {
@@ -20,8 +29,21 @@ struct FieldOutcome {
   tensor::Tensor logits;
   double edge_ms = 0.0;      // modelled edge compute
   double transfer_ms = 0.0;  // shaped transfer (virtual)
-  double cloud_ms = 0.0;     // modelled cloud compute
+  double cloud_ms = 0.0;     // modelled cloud (or local-fallback) compute
+  bool degraded = false;     // served by the edge-only fallback path
   double total_ms() const { return edge_ms + transfer_ms + cloud_ms; }
+};
+
+/// Fault-tolerance knobs for a FieldSession. Defaults reproduce the legacy
+/// behaviour (no deadline, never degrade) except that a dead link (infinite
+/// shaped transfer) always falls back instead of hanging.
+struct FieldFaultConfig {
+  double cloud_deadline_ms = 0.0;  // socket deadline per call; 0 = blocking
+  int max_retries = 1;             // transport-level retries per call
+  double backoff_ms = 5.0;
+  CircuitBreakerConfig breaker;
+  FaultInjector* injector = nullptr;        // optional chaos (not owned)
+  obs::MetricsRegistry* metrics = nullptr;  // null = global registry
 };
 
 class FieldSession {
@@ -33,22 +55,42 @@ class FieldSession {
                latency::ComputeLatencyModel edge_device,
                latency::ComputeLatencyModel cloud_device,
                net::BandwidthTrace trace, double rtt_ms,
-               double time_scale = 0.0);
+               double time_scale = 0.0, FieldFaultConfig faults = {});
   ~FieldSession();
 
-  /// Runs one inference starting at virtual time `t_virtual_ms`.
+  /// Runs one inference starting at virtual time `t_virtual_ms`. Never
+  /// hangs or throws on cloud failure: if the cloud is unreachable (deadline
+  /// misses, crash, open breaker, dead link) the suffix runs locally and the
+  /// outcome is marked `degraded`.
   FieldOutcome infer(const tensor::Tensor& input, double t_virtual_ms);
 
   bool offloads() const { return cut_ < model_size_; }
 
+  /// Simulates a cloud-process crash: the executor stops serving and
+  /// in-flight/future calls fail until restart_cloud().
+  void kill_cloud();
+  /// Restarts the cloud executor on a fresh port and reconnects the client.
+  /// The breaker stays open until a probe call succeeds.
+  void restart_cloud();
+
+  CircuitBreaker::State breaker_state() const { return breaker_.state(); }
+
  private:
+  FieldOutcome degrade_locally(FieldOutcome outcome,
+                               const tensor::Tensor& features);
+  obs::MetricsRegistry& metrics() const;
+
   std::size_t cut_, model_size_;
   nn::Model edge_model_;
+  nn::Model fallback_model_;  // uncompressed suffix, runnable on the edge
   latency::ComputeLatencyModel edge_device_;
   net::BandwidthTrace trace_;
   double rtt_ms_, time_scale_;
+  FieldFaultConfig faults_;
+  CircuitBreaker breaker_;
   std::unique_ptr<CloudExecutor> cloud_;
   TcpClient client_;
+  bool cloud_up_ = false;
 };
 
 }  // namespace cadmc::runtime

@@ -1,6 +1,8 @@
 #include "runtime/shaper.h"
 
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 
@@ -13,15 +15,27 @@ double shaped_transfer_ms(const net::BandwidthTrace& trace, double t_start_ms,
   double remaining = (1.0 + size_coeff) * static_cast<double>(bytes);
   double t = t_start_ms + rtt_ms;
   const double dt = trace.dt_ms();
-  // Drain sample by sample; partial last interval solved exactly.
-  for (int guard = 0; guard < 10'000'000; ++guard) {
-    const double bw = trace.at(t);  // bytes/ms, holds last sample at the end
-    const double drained = bw * dt;
-    if (drained >= remaining) return t + remaining / bw - t_start_ms;
-    remaining -= drained;
-    t += dt;
+  const double trace_end = trace.duration_ms();
+  // Drain interval by interval (O(1) per trace sample, blackout samples
+  // included); the partial interval that finishes the payload is solved
+  // exactly.
+  while (t < trace_end) {
+    const double bw = trace.at(t);  // bytes/ms; zero during a blackout
+    const double interval_end =
+        std::min(trace_end, (std::floor(t / dt) + 1.0) * dt);
+    if (bw > 0.0) {
+      const double drained = bw * (interval_end - t);
+      if (drained >= remaining) return t + remaining / bw - t_start_ms;
+      remaining -= drained;
+    }
+    t = interval_end;
   }
-  throw std::runtime_error("shaped_transfer_ms: transfer did not converge");
+  // Past the end the final sample holds indefinitely. A dead tail means the
+  // payload never arrives: report +inf so callers can time out / degrade
+  // instead of spinning.
+  const double bw = trace.at(trace_end);
+  if (bw <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::max(t, t_start_ms + rtt_ms) + remaining / bw - t_start_ms;
 }
 
 TokenBucketPacer::TokenBucketPacer(const net::BandwidthTrace& trace,
@@ -35,6 +49,8 @@ double TokenBucketPacer::pace(std::int64_t bytes, double t_virtual_ms,
                               double rtt_ms) {
   const double duration =
       shaped_transfer_ms(*trace_, t_virtual_ms, bytes, rtt_ms);
+  if (!std::isfinite(duration))
+    throw std::runtime_error("TokenBucketPacer: link is dead (infinite transfer)");
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
       duration * time_scale_));
   return duration;

@@ -5,15 +5,42 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "runtime/fault.h"
 
 namespace cadmc::runtime {
 
 namespace {
+
+constexpr std::size_t kLengthBytes = 8;
+constexpr std::size_t kCrcBytes = 4;
+constexpr std::size_t kHeaderBytes = kLengthBytes + kCrcBytes;
+
+// Byte-wise little-endian codec — the wire format is LE on every host.
+void store_le(std::uint8_t* out, std::uint64_t v, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i)
+    out[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+}
+
+std::uint64_t load_le(const std::uint8_t* in, std::size_t bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes; ++i)
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
 bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
   while (len > 0) {
-    const ssize_t n = ::send(fd, data, len, 0);
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // interrupted, not dead
     if (n <= 0) return false;
     data += n;
     len -= static_cast<std::size_t>(n);
@@ -24,30 +51,74 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
 bool read_all(int fd, std::uint8_t* data, std::size_t len) {
   while (len > 0) {
     const ssize_t n = ::recv(fd, data, len, 0);
+    if (n < 0 && errno == EINTR) continue;  // interrupted, not dead
     if (n <= 0) return false;
     data += n;
     len -= static_cast<std::size_t>(n);
   }
   return true;
 }
+
+/// Whole frame (header + payload) in one buffer so a single send covers it
+/// and fault hooks can mutate specific bytes before it hits the wire.
+Blob encode_frame(const Blob& payload) {
+  Blob frame(kHeaderBytes + payload.size());
+  store_le(frame.data(), payload.size(), kLengthBytes);
+  store_le(frame.data() + kLengthBytes, crc32(payload.data(), payload.size()),
+           kCrcBytes);
+  std::copy(payload.begin(), payload.end(), frame.begin() + kHeaderBytes);
+  return frame;
+}
+
+void set_socket_deadline(int fd, double timeout_ms) {
+  if (timeout_ms <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_ms - 1000.0 * static_cast<double>(tv.tv_sec)) * 1000.0);
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;  // sub-ms floor
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 }  // namespace
 
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
 bool write_frame(int fd, const Blob& payload) {
-  std::uint64_t size = payload.size();
-  std::uint8_t header[8];
-  std::memcpy(header, &size, 8);
-  if (!write_all(fd, header, 8)) return false;
-  return payload.empty() || write_all(fd, payload.data(), payload.size());
+  const Blob frame = encode_frame(payload);
+  return write_all(fd, frame.data(), frame.size());
 }
 
 bool read_frame(int fd, Blob& payload) {
-  std::uint8_t header[8];
-  if (!read_all(fd, header, 8)) return false;
-  std::uint64_t size = 0;
-  std::memcpy(&size, header, 8);
+  std::uint8_t header[kHeaderBytes];
+  if (!read_all(fd, header, kHeaderBytes)) return false;
+  const std::uint64_t size = load_le(header, kLengthBytes);
+  const auto expected_crc =
+      static_cast<std::uint32_t>(load_le(header + kLengthBytes, kCrcBytes));
   if (size > (1ULL << 31)) return false;  // sanity cap: 2 GiB frames
   payload.resize(size);
-  return size == 0 || read_all(fd, payload.data(), payload.size());
+  if (size > 0 && !read_all(fd, payload.data(), payload.size())) return false;
+  if (crc32(payload.data(), payload.size()) != expected_crc) {
+    obs::count("cadmc.runtime.fault.corrupt_rejected");
+    return false;
+  }
+  return true;
 }
 
 TcpServer::TcpServer(RequestHandler handler) : handler_(std::move(handler)) {}
@@ -84,8 +155,13 @@ std::uint16_t TcpServer::start() {
 void TcpServer::serve() {
   while (running_) {
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) break;  // listener closed
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed
+    }
     Blob request;
+    // A frame that fails the checksum poisons the stream framing, so the
+    // connection is dropped; the client reconnects and retries.
     while (running_ && read_frame(conn, request)) {
       const Blob response = handler_(request);
       if (!write_frame(conn, response)) break;
@@ -106,19 +182,28 @@ void TcpServer::stop() {
 
 TcpClient::~TcpClient() { close(); }
 
-void TcpClient::connect(std::uint16_t port) {
+void TcpClient::connect(std::uint16_t port, TcpClientConfig config) {
+  close();
+  port_ = port;
+  config_ = config;
+  if (!reconnect()) throw std::runtime_error("TcpClient: connect() failed");
+}
+
+bool TcpClient::reconnect() {
   close();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw std::runtime_error("TcpClient: socket() failed");
+  if (fd_ < 0) return false;
+  set_socket_deadline(fd_, config_.timeout_ms);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
+  addr.sin_port = htons(port_);
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("TcpClient: connect() failed");
+    return false;
   }
+  return true;
 }
 
 void TcpClient::close() {
@@ -128,14 +213,73 @@ void TcpClient::close() {
   }
 }
 
+bool TcpClient::send_request(const Blob& request, std::string& error) {
+  const FrameFault fault =
+      injector_ != nullptr ? injector_->next_frame_fault() : FrameFault::kNone;
+  if (fault == FrameFault::kDrop) {
+    // The frame is lost in flight. With a deadline we wait for the response
+    // that never comes (the timeout fires); without one, fail fast rather
+    // than blocking forever.
+    if (config_.timeout_ms <= 0.0) {
+      error = "frame dropped";
+      return false;
+    }
+    return true;
+  }
+  Blob frame = encode_frame(request);
+  if (fault == FrameFault::kCorrupt)
+    frame[frame.size() > kHeaderBytes ? kHeaderBytes : kLengthBytes] ^= 0xFF;
+  if (fault == FrameFault::kTruncate)
+    frame.resize(std::max<std::size_t>(1, frame.size() / 2));
+  if (!write_all(fd_, frame.data(), frame.size())) {
+    error = "send failed";
+    return false;
+  }
+  if (fault == FrameFault::kTruncate) {
+    error = "frame truncated";
+    return false;
+  }
+  return true;
+}
+
 Blob TcpClient::call(const Blob& request) {
-  if (fd_ < 0) throw std::runtime_error("TcpClient: not connected");
-  if (!write_frame(fd_, request))
-    throw std::runtime_error("TcpClient: send failed");
-  Blob response;
-  if (!read_frame(fd_, response))
-    throw std::runtime_error("TcpClient: receive failed");
-  return response;
+  if (fd_ < 0 && port_ == 0)
+    throw TransportError("TcpClient: not connected");
+  const int attempts = 1 + std::max(0, config_.max_retries);
+  double backoff = config_.backoff_ms;
+  std::string error = "no attempt made";
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      obs::count("cadmc.runtime.fault.retries");
+      if (backoff > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff));
+      backoff = std::min(backoff * 2.0, config_.backoff_max_ms);
+    }
+    if (fd_ < 0) {
+      if (!reconnect()) {
+        error = "reconnect failed";
+        continue;
+      }
+      obs::count("cadmc.runtime.fault.reconnects");
+    }
+    if (!send_request(request, error)) {
+      close();
+      continue;
+    }
+    Blob response;
+    errno = 0;
+    if (read_frame(fd_, response)) return response;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      error = "deadline exceeded";
+      obs::count("cadmc.runtime.fault.call_timeouts");
+    } else {
+      error = "connection lost or frame rejected";
+    }
+    close();
+  }
+  throw TransportError("TcpClient::call: " + error + " after " +
+                       std::to_string(attempts) + " attempt(s)");
 }
 
 }  // namespace cadmc::runtime

@@ -1,19 +1,33 @@
-// Loopback TCP transport: length-prefixed binary messages between the edge
-// process (client) and a cloud executor (server thread). Used by the field
-// demo to move real feature tensors through a real socket; the request
-// handler runs on the server thread.
+// Loopback TCP transport: length-prefixed, CRC32-checksummed binary messages
+// between the edge process (client) and a cloud executor (server thread).
+// Used by the field demo to move real feature tensors through a real socket;
+// the request handler runs on the server thread.
+//
+// Fault tolerance: the client supports per-call deadlines (SO_RCVTIMEO /
+// SO_SNDTIMEO), bounded retry with exponential backoff, and transparent
+// reconnect. Frames that fail the checksum are rejected and the connection
+// is dropped (stream framing can no longer be trusted). An optional
+// FaultInjector perturbs outgoing frames for chaos testing.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace cadmc::runtime {
 
+class FaultInjector;
+
 using Blob = std::vector<std::uint8_t>;
 using RequestHandler = std::function<Blob(const Blob&)>;
+
+/// Thrown by TcpClient::call after deadlines/retries are exhausted.
+struct TransportError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 class TcpServer {
  public:
@@ -37,6 +51,13 @@ class TcpServer {
   std::atomic<bool> running_{false};
 };
 
+struct TcpClientConfig {
+  double timeout_ms = 0.0;      // send/recv deadline per syscall; 0 = blocking
+  int max_retries = 0;          // extra attempts after the first failed call
+  double backoff_ms = 10.0;     // initial retry backoff, doubled per retry
+  double backoff_max_ms = 500.0;
+};
+
 class TcpClient {
  public:
   TcpClient() = default;
@@ -45,19 +66,42 @@ class TcpClient {
   TcpClient& operator=(const TcpClient&) = delete;
 
   /// Connects to 127.0.0.1:port. Throws std::runtime_error on failure.
-  void connect(std::uint16_t port);
+  /// The config's deadline is applied to every subsequent send/recv.
+  void connect(std::uint16_t port, TcpClientConfig config = {});
   bool connected() const { return fd_ >= 0; }
   void close();
 
-  /// Sends one request and blocks for the response.
+  /// Chaos hook: outgoing request frames consult `injector` (may be null)
+  /// for drop/corrupt/truncate decisions. Not owned; must outlive the client.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Sends one request and blocks for the response. Retries (with
+  /// exponential backoff and reconnect) up to config.max_retries times on
+  /// deadline misses, checksum rejections, or connection loss; throws
+  /// TransportError once attempts are exhausted.
   Blob call(const Blob& request);
 
  private:
+  bool reconnect();
+  bool send_request(const Blob& request, std::string& error);
+
   int fd_ = -1;
+  std::uint16_t port_ = 0;
+  TcpClientConfig config_;
+  FaultInjector* injector_ = nullptr;
 };
 
-/// Frame helpers (exposed for tests): 8-byte little-endian length prefix.
+/// Frame helpers (exposed for tests). Wire format, little-endian regardless
+/// of host byte order:
+///   [0..7]  payload length (u64 LE)
+///   [8..11] CRC32 (IEEE) of the payload (u32 LE)
+///   [12..]  payload
 bool write_frame(int fd, const Blob& payload);
+/// Returns false on short read, oversized frame, or checksum mismatch (the
+/// caller must drop the connection — framing is no longer trustworthy).
 bool read_frame(int fd, Blob& payload);
+
+/// IEEE 802.3 CRC32 (the zlib polynomial), exposed for tests.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
 
 }  // namespace cadmc::runtime

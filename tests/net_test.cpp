@@ -26,7 +26,9 @@ TEST(Trace, ZeroOrderHoldAndClamping) {
 
 TEST(Trace, RejectsInvalidConstruction) {
   EXPECT_THROW(BandwidthTrace(0.0, {1.0}), std::invalid_argument);
-  EXPECT_THROW(BandwidthTrace(10.0, {1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(BandwidthTrace(10.0, {1.0, -1.0}), std::invalid_argument);
+  // Zero is legal: a blackout sample (the fault layer splices these in).
+  EXPECT_NO_THROW(BandwidthTrace(10.0, {1.0, 0.0}));
 }
 
 TEST(Trace, QuantilesOrdered) {

@@ -8,7 +8,9 @@
 //                 [--episodes 150] [--out tree.txt]
 //   cadmc compose --model vgg11 --tree tree.txt --bandwidth-mbps 2.5
 //   cadmc emulate --model vgg11 --device phone --scene "4G (weak) indoor"
-//                 [--inferences 40] [--field]
+//                 [--inferences 40] [--field] [--outage-rate 0.05]
+//                 [--outage-ms 800] [--deadline-ms 300] [--no-fallback]
+//                 [--fault-seed 64023]
 //   cadmc report  --metrics run.metrics.jsonl
 //
 // Any subcommand accepts --metrics-out <path>: it enables metric/span
@@ -201,20 +203,58 @@ int cmd_emulate(const Flags& flags) {
       net::scene_by_name(flag_or(flags, "scene", "4G indoor static"))};
   const bench::ContextArtifacts art = bench::train_context(context, config);
   const bool field = flags.count("field") > 0;
-  const bench::PolicyStats stats = bench::run_policies(
-      art, field ? runtime::TimingMode::kField : runtime::TimingMode::kEstimated,
-      std::stoi(flag_or(flags, "inferences", "40")), 0xC11);
-  util::AsciiTable table({"Policy", "Reward", "Latency ms", "Accuracy %"});
+
+  // Fault knobs: random link outages spliced into the trace, a deadline on
+  // the cloud leg, and the edge-only fallback (on unless --no-fallback).
+  const double outage_rate = std::stod(flag_or(flags, "outage-rate", "0"));
+  const double deadline_ms = std::stod(flag_or(flags, "deadline-ms", "0"));
+  runtime::FaultPlan plan;
+  plan.outage_rate_per_s = outage_rate;
+  plan.outage_mean_ms = std::stod(flag_or(flags, "outage-ms", "800"));
+  plan.seed = std::stoull(flag_or(flags, "fault-seed", "64023"));
+  runtime::FaultInjector injector(plan, nullptr);
+
+  runtime::RunnerConfig rc;
+  rc.mode = field ? runtime::TimingMode::kField : runtime::TimingMode::kEstimated;
+  rc.inferences = std::stoi(flag_or(flags, "inferences", "40"));
+  rc.seed = 0xC11;
+  rc.cloud_deadline_ms = deadline_ms;
+  rc.edge_fallback = flags.count("no-fallback") == 0;
+  const net::BandwidthTrace trace =
+      outage_rate > 0.0 ? injector.degrade_trace(art.trace) : art.trace;
+  runtime::InferenceRunner runner(*art.evaluator, trace, art.boundaries, rc);
+
+  bench::PolicyStats stats;
+  stats.surgery = runner.run_surgery();
+  stats.branch = runner.run_branch(art.branch.best);
+  stats.tree = runner.run_tree(art.tree.tree);
+
+  const bool faulted = outage_rate > 0.0 || deadline_ms > 0.0;
+  util::AsciiTable table({"Policy", "Reward", "Latency ms", "p99 ms",
+                          "Accuracy %", "Avail %"});
   const auto row = [&](const char* name, const runtime::RunStats& s) {
     table.add_row({name, util::format_double(s.mean_reward, 2),
                    util::format_double(s.mean_latency_ms, 2),
-                   util::format_double(s.mean_accuracy * 100, 2)});
+                   util::format_double(s.p99_latency_ms, 2),
+                   util::format_double(s.mean_accuracy * 100, 2),
+                   util::format_double(s.availability * 100, 1)});
   };
   row("Dynamic DNN Surgery", stats.surgery);
   row("Optimal Branch", stats.branch);
   row("Model Tree", stats.tree);
   std::printf("mode: %s\n%s", field ? "field" : "emulation",
               table.to_string().c_str());
+  if (faulted)
+    std::printf(
+        "faults: outage rate %.3f/s (mean %.0f ms), deadline %.0f ms, "
+        "fallback %s\n"
+        "surgery: %d misses, %d fallbacks, %d failures | tree: %d misses, "
+        "%d fallbacks, %d failures\n",
+        outage_rate, plan.outage_mean_ms, deadline_ms,
+        rc.edge_fallback ? "on" : "off", stats.surgery.deadline_misses,
+        stats.surgery.edge_fallbacks, stats.surgery.failures,
+        stats.tree.deadline_misses, stats.tree.edge_fallbacks,
+        stats.tree.failures);
   return 0;
 }
 
@@ -244,6 +284,8 @@ void usage() {
       "  train   --model M --device D --scene S [--out tree.txt]\n"
       "  compose --model M --tree f --bandwidth-mbps X\n"
       "  emulate --model M --device D --scene S [--field]\n"
+      "          [--outage-rate R] [--outage-ms MS] [--deadline-ms MS]\n"
+      "          [--no-fallback] [--fault-seed N]   fault-injected runs\n"
       "  report  --metrics run.metrics.jsonl  render a saved metrics stream\n"
       "Any command also takes --metrics-out <path> to collect and save\n"
       "a metrics/span JSONL stream and print the run report on exit.\n");
