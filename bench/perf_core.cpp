@@ -1,0 +1,375 @@
+#include "bench/perf_core.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
+
+#include "bench/common.h"
+#include "latency/device_profile.h"
+#include "obs/export.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
+#include "runtime/decision_engine.h"
+#include "runtime/transport.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace cadmc::bench {
+
+PerfStats measure(const std::string& name, int warmup, int repetitions,
+                  const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples_us;
+  samples_us.reserve(static_cast<std::size_t>(std::max(repetitions, 0)));
+  double total_us = 0.0;
+  for (int i = 0; i < repetitions; ++i) {
+    const auto t0 = clock::now();
+    fn();
+    const double us =
+        std::chrono::duration<double, std::micro>(clock::now() - t0).count();
+    samples_us.push_back(us);
+    total_us += us;
+  }
+  PerfStats stats;
+  stats.name = name;
+  stats.repetitions = repetitions;
+  stats.warmup = warmup;
+  if (!samples_us.empty()) {
+    stats.p50 = util::quantile(samples_us, 0.5);
+    stats.p90 = util::quantile(samples_us, 0.9);
+    stats.p99 = util::quantile(samples_us, 0.99);
+    stats.mean = total_us / static_cast<double>(samples_us.size());
+    stats.min = *std::min_element(samples_us.begin(), samples_us.end());
+    stats.max = *std::max_element(samples_us.begin(), samples_us.end());
+    if (total_us > 0.0)
+      stats.throughput_per_s = 1e6 * static_cast<double>(repetitions) / total_us;
+  }
+  return stats;
+}
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+double field_or(const std::map<std::string, std::string>& event,
+                const std::string& key, double fallback) {
+  const auto it = event.find(key);
+  if (it == event.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+}  // namespace
+
+std::string perf_json(const PerfStats& stats) {
+  std::string line = "{\"type\":\"bench\",\"name\":\"" +
+                     obs::json_escape(stats.name) + "\",\"unit\":\"" +
+                     obs::json_escape(stats.unit) + "\"";
+  line += ",\"repetitions\":" + std::to_string(stats.repetitions);
+  line += ",\"warmup\":" + std::to_string(stats.warmup);
+  line += ",\"p50\":" + num(stats.p50);
+  line += ",\"p90\":" + num(stats.p90);
+  line += ",\"p99\":" + num(stats.p99);
+  line += ",\"mean\":" + num(stats.mean);
+  line += ",\"min\":" + num(stats.min);
+  line += ",\"max\":" + num(stats.max);
+  line += ",\"throughput_per_s\":" + num(stats.throughput_per_s);
+  line += "}";
+  return line;
+}
+
+bool write_perf_json(const std::string& dir, const PerfStats& stats) {
+  const std::string path =
+      (dir.empty() ? std::string(".") : dir) + "/BENCH_" + stats.name + ".json";
+  std::ofstream out(path);
+  if (!out) return false;
+  out << perf_json(stats) << "\n";
+  return static_cast<bool>(out);
+}
+
+bool load_perf_json(const std::string& path, PerfStats& stats) {
+  std::string text;
+  if (!util::read_file(path, text)) return false;
+  const auto events = obs::parse_jsonl(text);
+  for (const auto& event : events) {
+    const auto type = event.find("type");
+    if (type == event.end() || type->second != "bench") continue;
+    const auto name = event.find("name");
+    if (name == event.end()) continue;
+    stats.name = name->second;
+    const auto unit = event.find("unit");
+    stats.unit = unit != event.end() ? unit->second : "us";
+    stats.repetitions = static_cast<int>(field_or(event, "repetitions", 0));
+    stats.warmup = static_cast<int>(field_or(event, "warmup", 0));
+    stats.p50 = field_or(event, "p50", 0.0);
+    stats.p90 = field_or(event, "p90", 0.0);
+    stats.p99 = field_or(event, "p99", 0.0);
+    stats.mean = field_or(event, "mean", 0.0);
+    stats.min = field_or(event, "min", 0.0);
+    stats.max = field_or(event, "max", 0.0);
+    stats.throughput_per_s = field_or(event, "throughput_per_s", 0.0);
+    return true;
+  }
+  return false;
+}
+
+std::vector<PerfComparison> compare_perf(const std::vector<PerfStats>& current,
+                                         const std::string& baseline_dir,
+                                         double threshold) {
+  std::vector<PerfComparison> results;
+  for (const PerfStats& stats : current) {
+    PerfComparison cmp;
+    cmp.name = stats.name;
+    cmp.current_p50 = stats.p50;
+    PerfStats baseline;
+    if (!load_perf_json(baseline_dir + "/BENCH_" + stats.name + ".json",
+                        baseline)) {
+      cmp.missing_baseline = true;
+      results.push_back(cmp);
+      continue;
+    }
+    cmp.baseline_p50 = baseline.p50;
+    cmp.ratio = baseline.p50 > 0.0 ? stats.p50 / baseline.p50 : 0.0;
+    cmp.regressed = cmp.ratio > 1.0 + threshold;
+    results.push_back(cmp);
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// The benchmark suite.
+
+namespace {
+
+using engine::Strategy;
+
+/// Expensive shared fixtures, built once and only when a benchmark that
+/// needs them actually runs (so `--filter transport` stays fast).
+struct SuiteContext {
+  std::unique_ptr<nn::Model> base;
+  std::vector<std::size_t> boundaries;
+  std::unique_ptr<engine::StrategyEvaluator> evaluator;
+  std::optional<net::BandwidthTrace> trace;
+
+  void ensure_evaluator() {
+    if (evaluator) return;
+    base = std::make_unique<nn::Model>(nn::make_alexnet());
+    boundaries = nn::block_boundaries(*base, 3);
+    latency::TransferModel transfer;
+    transfer.rtt_ms = 15.0;
+    partition::PartitionEvaluator pe(
+        latency::ComputeLatencyModel(latency::phone_profile()),
+        latency::ComputeLatencyModel(latency::cloud_profile()), transfer);
+    evaluator = std::make_unique<engine::StrategyEvaluator>(
+        *base, pe, engine::AccuracyModel(0.8404, base->size(), 41),
+        engine::RewardConfig{});
+    net::TraceGeneratorParams params;
+    params.mean_mbps = 8.0;
+    params.volatility = 0.3;
+    trace = net::generate_trace(params, 20'000.0, 42);
+  }
+};
+
+/// Rescales a per-batch measurement to per-item (batching keeps clock noise
+/// out of nanosecond costs and smooths per-call variance). `unit_factor`
+/// converts the us samples to the target unit (1000 for ns, 1 to stay in us).
+PerfStats per_item(PerfStats stats, int batch, const std::string& unit,
+                   double unit_factor = 1000.0) {
+  const double scale = unit_factor / batch;
+  stats.p50 *= scale;
+  stats.p90 *= scale;
+  stats.p99 *= scale;
+  stats.mean *= scale;
+  stats.min *= scale;
+  stats.max *= scale;
+  stats.throughput_per_s *= batch;
+  stats.unit = unit;
+  return stats;
+}
+
+PerfStats bench_decision_infer(const PerfSuiteConfig& config) {
+  runtime::EngineConfig ec;
+  ec.scene = net::scene_by_name("4G indoor static");
+  ec.num_blocks = 2;
+  ec.trace_duration_ms = 20'000.0;
+  ec.tree_config.episodes = std::max(2, config.episodes / 2);
+  ec.tree_config.branch_config.episodes = std::max(4, config.episodes);
+  runtime::DecisionEngine engine(nn::make_tiny_cnn(4, 8, 50), std::move(ec));
+  engine.train_offline();
+  util::Rng rng(0xD3C);
+  const auto input = tensor::Tensor::randn({1, 3, 8, 8}, rng, 0.3f);
+  double t_ms = 1'000.0;
+  return measure("decision_infer", config.warmup, config.repetitions, [&] {
+    engine.infer(input, t_ms);
+    t_ms += 100.0;
+    if (t_ms > 15'000.0) t_ms = 1'000.0;
+  });
+}
+
+PerfStats bench_branch_search_step(const PerfSuiteConfig& config,
+                                   SuiteContext& ctx) {
+  ctx.ensure_evaluator();
+  engine::BranchSearchConfig bc;
+  bc.episodes = config.episodes;
+  engine::BranchSearch search(*ctx.evaluator, bc);
+  const double bw = latency::mbps_to_bytes_per_ms(8.0);
+  util::Rng rng(0xB5);
+  // A single rollout's cost swings with the sampled cut (the compression
+  // controller only walks the edge half), so time batches and report the
+  // per-rollout average — a regression guard needs a stable p50.
+  constexpr int kBatch = 16;
+  PerfStats stats = measure("branch_search_step", config.warmup,
+                            config.repetitions, [&] {
+                              for (int i = 0; i < kBatch; ++i)
+                                search.sample_strategy(bw, rng);
+                            });
+  return per_item(stats, kBatch, "us", 1.0);
+}
+
+PerfStats bench_transport_roundtrip(const PerfSuiteConfig& config) {
+  runtime::TcpServer server(
+      [](const runtime::Blob& request) { return request; });
+  const std::uint16_t port = server.start();
+  runtime::TcpClient client;
+  client.connect(port);
+  runtime::Blob request(1024);
+  for (std::size_t i = 0; i < request.size(); ++i)
+    request[i] = static_cast<std::uint8_t>(i * 31);
+  PerfStats stats =
+      measure("transport_roundtrip", config.warmup, config.repetitions,
+              [&] { client.call(request); });
+  client.close();
+  server.stop();
+  return stats;
+}
+
+PerfStats bench_emulated_frame(const PerfSuiteConfig& config,
+                               SuiteContext& ctx) {
+  ctx.ensure_evaluator();
+  runtime::RunnerConfig rc;
+  rc.inferences = 1;
+  runtime::InferenceRunner runner(*ctx.evaluator, *ctx.trace, ctx.boundaries,
+                                  rc);
+  return measure("emulated_frame", config.warmup, config.repetitions,
+                 [&] { runner.run_surgery(); });
+}
+
+constexpr int kSpanBatch = 512;
+
+PerfStats bench_span_overhead_disabled(const PerfSuiteConfig& config) {
+  const bool was_enabled = obs::enabled();
+  const bool was_flight = obs::flight_recording();
+  obs::set_enabled(false);
+  obs::set_flight_recording(false);
+  PerfStats stats = measure(
+      "span_overhead_disabled", config.warmup, config.repetitions, [] {
+        for (int i = 0; i < kSpanBatch; ++i) CADMC_SPAN("bench_span");
+      });
+  obs::set_enabled(was_enabled);
+  obs::set_flight_recording(was_flight);
+  return per_item(stats, kSpanBatch, "ns");
+}
+
+PerfStats bench_span_overhead_enabled(const PerfSuiteConfig& config) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::MetricsRegistry registry;
+  PerfStats stats = measure(
+      "span_overhead_enabled", config.warmup, config.repetitions, [&] {
+        for (int i = 0; i < kSpanBatch; ++i)
+          obs::ScopedSpan span("bench_span", &registry);
+        registry.reset();  // keep the span log bounded per repetition
+      });
+  obs::set_enabled(was_enabled);
+  return per_item(stats, kSpanBatch, "ns");
+}
+
+}  // namespace
+
+int run_perf_suite(const PerfSuiteConfig& config) {
+  const auto selected = [&](const char* name) {
+    return config.filter.empty() ||
+           std::string(name).find(config.filter) != std::string::npos;
+  };
+
+  SuiteContext ctx;
+  std::vector<PerfStats> results;
+  if (selected("decision_infer")) results.push_back(bench_decision_infer(config));
+  if (selected("branch_search_step"))
+    results.push_back(bench_branch_search_step(config, ctx));
+  if (selected("transport_roundtrip"))
+    results.push_back(bench_transport_roundtrip(config));
+  if (selected("emulated_frame"))
+    results.push_back(bench_emulated_frame(config, ctx));
+  if (selected("span_overhead_disabled"))
+    results.push_back(bench_span_overhead_disabled(config));
+  if (selected("span_overhead_enabled"))
+    results.push_back(bench_span_overhead_enabled(config));
+
+  if (results.empty()) {
+    std::fprintf(stderr, "no benchmark matches filter '%s'\n",
+                 config.filter.c_str());
+    return 2;
+  }
+
+  for (const PerfStats& stats : results) {
+    if (!write_perf_json(config.out_dir, stats)) {
+      std::fprintf(stderr, "cannot write %s/BENCH_%s.json\n",
+                   config.out_dir.c_str(), stats.name.c_str());
+      return 2;
+    }
+  }
+
+  if (!config.quiet) {
+    util::AsciiTable table(
+        {"Benchmark", "Unit", "p50", "p90", "p99", "Mean", "Ops/s"});
+    for (const PerfStats& s : results)
+      table.add_row({s.name, s.unit, util::format_double(s.p50, 2),
+                     util::format_double(s.p90, 2),
+                     util::format_double(s.p99, 2),
+                     util::format_double(s.mean, 2),
+                     util::format_double(s.throughput_per_s, 1)});
+    std::printf("%s", table.to_string().c_str());
+    std::printf("results written to %s/BENCH_<name>.json\n",
+                config.out_dir.c_str());
+  }
+
+  if (config.compare_dir.empty()) return 0;
+
+  const auto comparisons =
+      compare_perf(results, config.compare_dir, config.threshold);
+  bool any_regressed = false;
+  util::AsciiTable table({"Benchmark", "Baseline p50", "Current p50", "Ratio",
+                          "Verdict"});
+  for (const PerfComparison& cmp : comparisons) {
+    any_regressed = any_regressed || cmp.regressed;
+    table.add_row(
+        {cmp.name,
+         cmp.missing_baseline ? "-" : util::format_double(cmp.baseline_p50, 2),
+         util::format_double(cmp.current_p50, 2),
+         cmp.missing_baseline ? "-" : util::format_double(cmp.ratio, 3),
+         cmp.missing_baseline ? "no baseline"
+                              : (cmp.regressed ? "REGRESSED" : "ok")});
+  }
+  if (!config.quiet) {
+    std::printf("\nbaseline: %s (threshold +%.0f%% on p50)\n%s",
+                config.compare_dir.c_str(), config.threshold * 100.0,
+                table.to_string().c_str());
+  }
+  return any_regressed ? 1 : 0;
+}
+
+}  // namespace cadmc::bench

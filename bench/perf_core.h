@@ -1,0 +1,83 @@
+// Perf-regression harness core (shared by bench/perf_regress and the
+// `cadmc bench` subcommand). Each benchmark times one hot path — decision
+// engine inference, a branch-search rollout, a transport round-trip, an
+// emulated frame, span bookkeeping — over warmup + measured repetitions and
+// reduces the samples to canonical PerfStats (p50/p90/p99, throughput).
+//
+// Stats round-trip through one-line JSON files named BENCH_<name>.json (the
+// obs::parse_jsonl flat-object shape), so a committed baseline directory can
+// be compared against a fresh run: a benchmark regresses when its p50 slows
+// down by more than `threshold` relative to its baseline.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cadmc::bench {
+
+struct PerfStats {
+  std::string name;
+  std::string unit = "us";  // per-repetition sample unit
+  int repetitions = 0;
+  int warmup = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double throughput_per_s = 0.0;  // repetitions / total measured time
+};
+
+/// Runs `fn` warmup times untimed, then `repetitions` times timed, and
+/// reduces the per-repetition wall times (microseconds) to PerfStats.
+PerfStats measure(const std::string& name, int warmup, int repetitions,
+                  const std::function<void()>& fn);
+
+/// One-line JSON for a stats record:
+///   {"type":"bench","name":"transport_roundtrip","unit":"us",...}
+std::string perf_json(const PerfStats& stats);
+
+/// Writes perf_json() to `<dir>/BENCH_<name>.json`. Returns false on I/O
+/// failure.
+bool write_perf_json(const std::string& dir, const PerfStats& stats);
+
+/// Reads a BENCH_*.json file back. Returns false when the file is missing
+/// or not a bench record.
+bool load_perf_json(const std::string& path, PerfStats& stats);
+
+struct PerfComparison {
+  std::string name;
+  double current_p50 = 0.0;
+  double baseline_p50 = 0.0;
+  double ratio = 0.0;  // current / baseline
+  bool missing_baseline = false;
+  bool regressed = false;  // ratio > 1 + threshold
+};
+
+/// Compares each current stat against `<baseline_dir>/BENCH_<name>.json`.
+/// A benchmark with no baseline is reported (missing_baseline) but never
+/// counts as a regression, so new benchmarks can land before their baseline.
+std::vector<PerfComparison> compare_perf(const std::vector<PerfStats>& current,
+                                         const std::string& baseline_dir,
+                                         double threshold);
+
+struct PerfSuiteConfig {
+  int repetitions = 30;
+  int warmup = 5;
+  int episodes = 12;        // RL episodes for the trained-context benches
+  std::string filter;       // substring; empty = run everything
+  std::string out_dir = ".";
+  std::string compare_dir;  // empty = no comparison
+  double threshold = 0.15;  // p50 regression tolerance for --compare
+  bool quiet = false;
+};
+
+/// Runs every benchmark whose name contains config.filter, writes
+/// BENCH_<name>.json files to config.out_dir, prints a summary table and —
+/// when config.compare_dir is set — the comparison. Returns the process exit
+/// code: 0 clean, 1 when any benchmark regressed, 2 on I/O failure.
+int run_perf_suite(const PerfSuiteConfig& config);
+
+}  // namespace cadmc::bench

@@ -1,0 +1,57 @@
+// perf_regress — the perf-regression guard.
+//
+//   perf_regress [--out-dir DIR] [--compare BASELINE_DIR] [--filter SUBSTR]
+//                [--repetitions N] [--warmup N] [--episodes N]
+//                [--threshold FRAC]
+//
+// Times the hot paths (decision-engine inference, branch-search rollout,
+// transport round-trip, emulated frame, span bookkeeping) and writes one
+// canonical BENCH_<name>.json per benchmark. With --compare it exits 1 when
+// any benchmark's p50 slowed down by more than --threshold (default 15%)
+// relative to the baseline directory — CI runs it against the committed
+// baselines in bench/baselines/.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/perf_core.h"
+
+int main(int argc, char** argv) {
+  cadmc::bench::PerfSuiteConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out-dir") {
+      config.out_dir = value();
+    } else if (arg == "--compare") {
+      config.compare_dir = value();
+    } else if (arg == "--filter") {
+      config.filter = value();
+    } else if (arg == "--repetitions") {
+      config.repetitions = std::stoi(value());
+    } else if (arg == "--warmup") {
+      config.warmup = std::stoi(value());
+    } else if (arg == "--episodes") {
+      config.episodes = std::stoi(value());
+    } else if (arg == "--threshold") {
+      config.threshold = std::stod(value());
+    } else if (arg == "--quiet") {
+      config.quiet = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: perf_regress [--out-dir DIR] [--compare BASELINE_DIR]\n"
+          "                    [--filter SUBSTR] [--repetitions N]\n"
+          "                    [--warmup N] [--episodes N] [--threshold FRAC]\n"
+          "                    [--quiet]\n");
+      return 2;
+    }
+  }
+  return cadmc::bench::run_perf_suite(config);
+}

@@ -72,6 +72,13 @@ RunReport make_report(const MetricsRegistry& registry) {
     ++stats.count;
     stats.total_wall_ms += s.wall_ms;
     if (s.modelled_ms >= 0.0) stats.total_modelled_ms += s.modelled_ms;
+    RunReport::TraceStats& trace = report.traces[s.trace_id];
+    ++trace.spans;
+    trace.total_wall_ms += s.wall_ms;
+    if (s.parent_id == 0) {
+      trace.root_name = s.name;
+      trace.root_wall_ms = s.wall_ms;
+    }
   }
   for (auto& [name, stats] : report.spans)
     stats.mean_wall_ms = stats.total_wall_ms / static_cast<double>(stats.count);
@@ -114,6 +121,17 @@ std::string render_report(const RunReport& report) {
     }
     out << table.to_string();
   }
+  // Legacy streams carry no trace ids (one bucket keyed 0) — skip the table.
+  if (!report.traces.empty() &&
+      !(report.traces.size() == 1 && report.traces.begin()->first == 0)) {
+    util::AsciiTable table({"Trace", "Spans", "Root", "Root ms", "Total ms"});
+    for (const auto& [trace_id, t] : report.traces)
+      table.add_row({std::to_string(trace_id), std::to_string(t.spans),
+                     t.root_name.empty() ? "?" : t.root_name,
+                     util::format_double(t.root_wall_ms, 3),
+                     util::format_double(t.total_wall_ms, 3)});
+    out << table.to_string();
+  }
   if (out.str().empty()) out << "(no metrics collected)\n";
   return out.str();
 }
@@ -153,7 +171,8 @@ std::string to_jsonl(const MetricsRegistry& registry) {
   for (const SpanRecord& s : registry.spans())
     out << "{\"type\":\"span\",\"name\":\"" << json_escape(s.name)
         << "\",\"id\":" << s.id << ",\"parent\":" << s.parent_id
-        << ",\"depth\":" << s.depth << ",\"start_ms\":" << num(s.start_ms)
+        << ",\"trace\":" << s.trace_id << ",\"depth\":" << s.depth
+        << ",\"start_ms\":" << num(s.start_ms)
         << ",\"wall_ms\":" << num(s.wall_ms)
         << ",\"modelled_ms\":" << num(s.modelled_ms) << "}\n";
   return out.str();
@@ -251,9 +270,25 @@ RunReport report_from_events(
       if (stats.count == 0)
         stats.depth = static_cast<int>(to_double(event, "depth"));
       ++stats.count;
-      stats.total_wall_ms += to_double(event, "wall_ms");
+      const double wall = to_double(event, "wall_ms");
+      stats.total_wall_ms += wall;
       const double modelled = to_double(event, "modelled_ms", -1.0);
       if (modelled >= 0.0) stats.total_modelled_ms += modelled;
+      // Per-trace rollup: spans from different processes of one run merge
+      // under their shared trace id (the cloud half arrives depth-0 in its
+      // own file but carries a nonzero parent, so roots stay unambiguous).
+      std::uint64_t trace_id = 0;
+      try {
+        trace_id = std::stoull(field(event, "trace"));
+      } catch (const std::exception&) {
+      }
+      RunReport::TraceStats& trace = report.traces[trace_id];
+      ++trace.spans;
+      trace.total_wall_ms += wall;
+      if (to_double(event, "parent") == 0.0) {
+        trace.root_name = name;
+        trace.root_wall_ms = wall;
+      }
     }
   }
   for (auto& [name, stats] : report.spans)

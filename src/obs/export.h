@@ -24,10 +24,20 @@ struct RunReport {
     double total_modelled_ms = 0.0;  // sum over records that set it
   };
 
+  /// Per-trace rollup: one causal tree (possibly spanning the edge and
+  /// cloud processes of a field run, merged from their JSONL streams).
+  struct TraceStats {
+    std::uint64_t spans = 0;
+    std::string root_name;       // name of the trace's root span, if seen
+    double root_wall_ms = 0.0;
+    double total_wall_ms = 0.0;  // sum over every span in the trace
+  };
+
   std::map<std::string, std::int64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
   std::map<std::string, SpanStats> spans;
+  std::map<std::uint64_t, TraceStats> traces;
 };
 
 RunReport make_report(const MetricsRegistry& registry);

@@ -93,9 +93,11 @@ class Histogram {
 struct SpanRecord {
   std::uint64_t id = 0;
   std::uint64_t parent_id = 0;  // 0 = no parent
+  std::uint64_t trace_id = 0;   // causal tree this span belongs to
   std::string name;
   int depth = 0;
-  double start_ms = 0.0;     // steady-clock ms since process start
+  double start_ms = 0.0;     // ms since process start, shifted into the
+                             // trace root's timebase for remote spans
   double wall_ms = 0.0;      // measured wall-clock duration
   double modelled_ms = -1.0; // analytic-model duration; < 0 when unset
 };

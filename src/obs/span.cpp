@@ -1,7 +1,11 @@
 #include "obs/span.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <vector>
+
+#include "obs/trace_export.h"
 
 namespace cadmc::obs {
 
@@ -11,19 +15,33 @@ using Clock = std::chrono::steady_clock;
 const Clock::time_point g_process_start = Clock::now();
 std::atomic<std::uint64_t> g_next_span_id{1};
 
+// Trace ids carry the pid in their upper bits so the edge and cloud
+// processes of one field run never mint the same id; values stay below
+// 2^48 so they survive JSON number round-trips.
+std::uint64_t next_trace_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  static const std::uint64_t pid_part =
+      (static_cast<std::uint64_t>(::getpid()) & 0xFFFFu) << 32;
+  return pid_part | (counter.fetch_add(1, std::memory_order_relaxed) &
+                     0xFFFFFFFFu);
+}
+
 struct LiveSpan {
   MetricsRegistry* registry;
   std::uint64_t id;
+  std::uint64_t trace_id;
+  double clock_offset_ms;
 };
 // Innermost live spans of this thread; parentage is per (thread, registry)
 // so spans recorded into an injected registry do not adopt parents from the
 // global one.
 thread_local std::vector<LiveSpan> t_span_stack;
+thread_local RemoteContext t_remote_context;
 
-std::uint64_t innermost_in(const MetricsRegistry* registry) {
+const LiveSpan* innermost_in(const MetricsRegistry* registry) {
   for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend(); ++it)
-    if (it->registry == registry) return it->id;
-  return 0;
+    if (it->registry == registry) return &*it;
+  return nullptr;
 }
 }  // namespace
 
@@ -33,18 +51,43 @@ double steady_now_ms() {
       .count();
 }
 
-ScopedSpan::ScopedSpan(std::string name, MetricsRegistry* registry) {
-  if (!enabled()) return;
+RemoteSpanScope::RemoteSpanScope(const RemoteContext& ctx)
+    : previous_(t_remote_context) {
+  if (ctx.trace_id != 0) t_remote_context = ctx;
+}
+
+RemoteSpanScope::~RemoteSpanScope() { t_remote_context = previous_; }
+
+OutgoingContext outgoing_context() {
+  if (t_span_stack.empty()) return {};
+  const LiveSpan& innermost = t_span_stack.back();
+  return {innermost.trace_id, innermost.id};
+}
+
+ScopedSpan::ScopedSpan(const char* name, MetricsRegistry* registry) {
+  to_metrics_ = enabled();
+  to_flight_ = flight_recording();
+  if (!to_metrics_ && !to_flight_) return;
   active_ = true;
   registry_ = registry != nullptr ? registry : &MetricsRegistry::global();
-  name_ = std::move(name);
+  name_ = name;
   id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
-  parent_id_ = innermost_in(registry_);
   int depth = 0;
   for (const LiveSpan& s : t_span_stack)
     if (s.registry == registry_) ++depth;
   depth_ = depth;
-  t_span_stack.push_back({registry_, id_});
+  if (const LiveSpan* parent = innermost_in(registry_)) {
+    parent_id_ = parent->id;
+    trace_id_ = parent->trace_id;
+    clock_offset_ms_ = parent->clock_offset_ms;
+  } else if (t_remote_context.trace_id != 0) {
+    parent_id_ = t_remote_context.parent_span_id;
+    trace_id_ = t_remote_context.trace_id;
+    clock_offset_ms_ = t_remote_context.clock_offset_ms;
+  } else {
+    trace_id_ = next_trace_id();
+  }
+  t_span_stack.push_back({registry_, id_, trace_id_, clock_offset_ms_});
   start_ms_ = steady_now_ms();
 }
 
@@ -53,9 +96,10 @@ ScopedSpan::~ScopedSpan() {
   SpanRecord record;
   record.id = id_;
   record.parent_id = parent_id_;
-  record.name = std::move(name_);
+  record.trace_id = trace_id_;
+  record.name = name_;
   record.depth = depth_;
-  record.start_ms = start_ms_;
+  record.start_ms = start_ms_ + clock_offset_ms_;
   record.wall_ms = steady_now_ms() - start_ms_;
   record.modelled_ms = modelled_ms_;
   // Destruction order is LIFO within a thread, but be tolerant of exotic
@@ -66,7 +110,9 @@ ScopedSpan::~ScopedSpan() {
       break;
     }
   }
-  registry_->record_span(std::move(record));
+  if (to_flight_)
+    FlightRecorder::global().record_span(record);
+  if (to_metrics_ && enabled()) registry_->record_span(std::move(record));
 }
 
 }  // namespace cadmc::obs

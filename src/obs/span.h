@@ -4,11 +4,20 @@
 // model's duration alongside the measured one (`set_modelled_ms`) — the
 // hot paths report both so the Fig. 5 calibration gap is visible per stage.
 //
-// Spans are inert (no clock read, no allocation) while obs::enabled() is
-// false, and the CADMC_SPAN macro compiles away under -DCADMC_OBS_DISABLED.
+// Distributed tracing: every span belongs to a trace (a causal tree).
+// A root span (no live parent on its thread) opens a fresh trace; a
+// RemoteSpanScope installs a parent received over the wire (see
+// runtime/transport.h) so spans on the receiving side — typically the cloud
+// half of a partitioned inference — join the sender's trace, parented under
+// the sender's request span and time-shifted into the sender's clock.
+//
+// Spans are inert (no clock read, no allocation — the name parameter is a
+// `const char*` precisely so no std::string is materialised) while both
+// obs::enabled() and obs::flight_recording() are false, and the CADMC_SPAN
+// macro compiles away under -DCADMC_OBS_DISABLED.
 #pragma once
 
-#include <string>
+#include <cstdint>
 
 #include "obs/metrics.h"
 
@@ -17,13 +26,17 @@ namespace cadmc::obs {
 class ScopedSpan {
  public:
   /// Records into `registry` (the global registry when null) on destruction.
-  explicit ScopedSpan(std::string name, MetricsRegistry* registry = nullptr);
+  /// `name` must outlive the span (string literals do).
+  explicit ScopedSpan(const char* name, MetricsRegistry* registry = nullptr);
   ~ScopedSpan();
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   /// True when collection was enabled at construction time.
   bool active() const { return active_; }
+
+  std::uint64_t id() const { return id_; }
+  std::uint64_t trace_id() const { return trace_id_; }
 
   void set_modelled_ms(double ms) { modelled_ms_ = ms; }
   void add_modelled_ms(double ms) {
@@ -32,14 +45,49 @@ class ScopedSpan {
 
  private:
   bool active_ = false;
+  bool to_metrics_ = false;  // record into the registry on destruction
+  bool to_flight_ = false;   // record into the flight recorder on destruction
   MetricsRegistry* registry_ = nullptr;
-  std::string name_;
+  const char* name_ = nullptr;
   std::uint64_t id_ = 0;
   std::uint64_t parent_id_ = 0;
+  std::uint64_t trace_id_ = 0;
   int depth_ = 0;
   double start_ms_ = 0.0;
+  double clock_offset_ms_ = 0.0;  // added to start_ms when recording
   double modelled_ms_ = -1.0;
 };
+
+/// A parent span received from another process/thread over the wire.
+/// `clock_offset_ms` is added to local steady_now_ms() readings to express
+/// spans in the sender's timebase (sender_clock_at_send - local_clock_at_recv).
+struct RemoteContext {
+  std::uint64_t trace_id = 0;       // 0 = no remote parent (scope is a no-op)
+  std::uint64_t parent_span_id = 0;
+  double clock_offset_ms = 0.0;
+};
+
+/// Installs `ctx` as this thread's remote parent for the scope's lifetime:
+/// spans opened with no live local parent adopt its trace id, parent span id
+/// and clock offset. Restores the previous remote context on destruction.
+class RemoteSpanScope {
+ public:
+  explicit RemoteSpanScope(const RemoteContext& ctx);
+  ~RemoteSpanScope();
+  RemoteSpanScope(const RemoteSpanScope&) = delete;
+  RemoteSpanScope& operator=(const RemoteSpanScope&) = delete;
+
+ private:
+  RemoteContext previous_;
+};
+
+/// The innermost live span of the calling thread (any registry), as a
+/// context to propagate over the wire. All-zero when no span is live.
+struct OutgoingContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+OutgoingContext outgoing_context();
 
 /// Milliseconds on the steady clock since process start (span timebase).
 double steady_now_ms();

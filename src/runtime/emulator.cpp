@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/span.h"
+#include "obs/trace_export.h"
 #include "runtime/shaper.h"
 #include "util/stats.h"
 
@@ -70,14 +72,20 @@ void InferenceRunner::offload_tail(Timeline& tl, const Strategy& strategy,
   const double deadline = config_.cloud_deadline_ms;
   bool served_by_cloud = false;
   if (deadline <= 0.0 || fs.breaker.allow_request()) {
-    const double cloud_total = transfer_ms(tl, bytes) +
-                               evaluator_->cloud_suffix_latency_ms(strategy.cut);
+    obs::ScopedSpan transfer_span("transfer");
+    const double transfer = transfer_ms(tl, bytes);
+    transfer_span.set_modelled_ms(transfer);
+    obs::ScopedSpan cloud_span("cloud_compute");
+    const double cloud = evaluator_->cloud_suffix_latency_ms(strategy.cut);
+    cloud_span.set_modelled_ms(cloud);
+    const double cloud_total = transfer + cloud;
     if (deadline > 0.0 &&
         (!std::isfinite(cloud_total) || cloud_total > deadline)) {
       // The miss is only detected when the deadline fires; that wait is the
       // price of the failed attempt.
       fs.breaker.record_failure();
       ++fs.deadline_misses;
+      obs::flight_fault(obs::FlightEventKind::kFault, "deadline_miss");
       tl.t_ms += deadline;
     } else {
       if (deadline > 0.0) fs.breaker.record_success();
@@ -90,7 +98,10 @@ void InferenceRunner::offload_tail(Timeline& tl, const Strategy& strategy,
     // Run the uncompressed suffix locally (the tree's all-edge fork): the
     // same logits arrive, later and at edge-device prices.
     ++fs.edge_fallbacks;
-    tl.t_ms += block_compute_ms(tl, strategy, strategy.cut, base.size());
+    obs::ScopedSpan fallback_span("edge_fallback");
+    const double ms = block_compute_ms(tl, strategy, strategy.cut, base.size());
+    fallback_span.set_modelled_ms(ms);
+    tl.t_ms += ms;
   } else {
     ++fs.failures;
   }
@@ -104,11 +115,17 @@ double InferenceRunner::execute(Timeline& tl, const Strategy& strategy,
   edges.push_back(base.size());
 
   const double t_start = tl.t_ms;
-  for (std::size_t j = 0; j + 1 < edges.size(); ++j) {
-    const std::size_t begin = edges[j], end = edges[j + 1];
-    if (begin >= strategy.cut) break;
-    tl.t_ms += block_compute_ms(tl, strategy, begin, std::min(end, strategy.cut));
-    if (strategy.cut <= end) break;
+  {
+    obs::ScopedSpan edge_span("edge_compute");
+    for (std::size_t j = 0; j + 1 < edges.size(); ++j) {
+      const std::size_t begin = edges[j], end = edges[j + 1];
+      if (begin >= strategy.cut) break;
+      const double ms =
+          block_compute_ms(tl, strategy, begin, std::min(end, strategy.cut));
+      edge_span.add_modelled_ms(ms);
+      tl.t_ms += ms;
+      if (strategy.cut <= end) break;
+    }
   }
   offload_tail(tl, strategy, fs);
   return tl.t_ms - t_start;
@@ -153,12 +170,18 @@ RunStats InferenceRunner::run_surgery() const {
     Timeline tl{start_time(i),
                 net::BandwidthEstimator(trace_, staleness, config_.estimator_alpha),
                 util::Rng(config_.seed ^ (0x5u + static_cast<unsigned>(i)))};
-    const double bw_est = tl.estimator.estimate_at(tl.t_ms);
+    obs::ScopedSpan frame_span("frame");
+    double bw_est;
+    {
+      obs::ScopedSpan measure_span("measure_bandwidth");
+      bw_est = tl.estimator.estimate_at(tl.t_ms);
+    }
     Strategy s;
     s.plan.assign(base.size(), compress::TechniqueId::kNone);
     s.cut = partition::surgery_cut_for_chain(base, evaluator_->partition_eval(),
                                              bw_est);
     latencies.push_back(execute(tl, s, fs));
+    frame_span.set_modelled_ms(latencies.back());
     strategies.push_back(std::move(s));
   }
   return summarize(strategies, latencies, fs);
@@ -173,7 +196,9 @@ RunStats InferenceRunner::run_branch(const Strategy& strategy) const {
                 net::BandwidthEstimator(trace_, config_.estimator_staleness_ms,
                                         config_.estimator_alpha),
                 util::Rng(config_.seed ^ (0xB00u + static_cast<unsigned>(i)))};
+    obs::ScopedSpan frame_span("frame");
     latencies.push_back(execute(tl, strategy, fs));
+    frame_span.set_modelled_ms(latencies.back());
     strategies.push_back(strategy);
   }
   return summarize(strategies, latencies, fs);
@@ -199,9 +224,18 @@ RunStats InferenceRunner::run_tree(const tree::ModelTree& tree) const {
     s.cut = base.size();
     const tree::TreeNode* node = &tree.root();
     const double t_start = tl.t_ms;
+    obs::ScopedSpan frame_span("frame");
     for (std::size_t level = 0; level < tree.num_blocks(); ++level) {
-      const double bw_est = tl.estimator.estimate_at(tl.t_ms);
-      const int fork = tree.classify(bw_est);
+      double bw_est;
+      {
+        obs::ScopedSpan measure_span("measure_bandwidth");
+        bw_est = tl.estimator.estimate_at(tl.t_ms);
+      }
+      int fork;
+      {
+        obs::ScopedSpan fork_span("fork_select");
+        fork = tree.classify(bw_est);
+      }
       const tree::TreeNode* next = nullptr;
       for (const tree::TreeNode& c : node->children)
         if (c.fork == fork) next = &c;
@@ -211,13 +245,19 @@ RunStats InferenceRunner::run_tree(const tree::ModelTree& tree) const {
       for (std::size_t x = 0; x < node->block_plan.size(); ++x)
         s.plan[begin + x] = node->block_plan[x];
       const std::size_t edge_end = begin + node->cut_local;
-      tl.t_ms += block_compute_ms(tl, s, begin, edge_end);
+      {
+        obs::ScopedSpan edge_span("edge_compute");
+        const double ms = block_compute_ms(tl, s, begin, edge_end);
+        edge_span.set_modelled_ms(ms);
+        tl.t_ms += ms;
+      }
       if (node->partitions(tree.block_len(level))) {
         s.cut = edge_end;
         break;
       }
     }
     offload_tail(tl, s, fs);
+    frame_span.set_modelled_ms(tl.t_ms - t_start);
     latencies.push_back(tl.t_ms - t_start);
     strategies.push_back(std::move(s));
   }

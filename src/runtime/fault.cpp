@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace_export.h"
+
 namespace cadmc::runtime {
 
 namespace {
@@ -161,6 +163,9 @@ void CircuitBreaker::record_failure() {
     open_requests_ = 0;
     if (obs::enabled())
       metrics().counter("cadmc.runtime.fault.breaker_opens").add(1);
+    // A breaker opening is the postmortem moment: flush the flight recorder
+    // so the dump holds the spans and faults that led here.
+    obs::flight_fault(obs::FlightEventKind::kBreaker, "breaker_open");
   }
 }
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/span.h"
+#include "obs/trace_export.h"
+
 namespace cadmc::runtime {
 
 FieldSession::FieldSession(engine::RealizedStrategy realized,
@@ -21,6 +24,9 @@ FieldSession::FieldSession(engine::RealizedStrategy realized,
       time_scale_(time_scale),
       faults_(faults),
       breaker_(faults.breaker, faults.metrics) {
+  // Field mode is where the link misbehaves: the flight recorder is always
+  // on so a fault dump exists even when metrics collection is off.
+  obs::set_flight_recording(true);
   if (offloads()) {
     cloud_ = std::make_unique<CloudExecutor>(
         realized.model.slice(realized.cut, realized.model.size()),
@@ -83,6 +89,9 @@ FieldOutcome FieldSession::degrade_locally(FieldOutcome outcome,
 
 FieldOutcome FieldSession::infer(const tensor::Tensor& input,
                                  double t_virtual_ms) {
+  // Root of the per-frame causal tree: edge compute -> transfer ->
+  // cloud compute (server-side spans join via the frame's trace context).
+  obs::ScopedSpan frame_span("field_frame", faults_.metrics);
   FieldOutcome outcome;
   tensor::Tensor features = input;
   if (cut_ > 0) {
@@ -93,6 +102,7 @@ FieldOutcome FieldSession::infer(const tensor::Tensor& input,
   }
   if (!offloads()) {
     outcome.logits = features;
+    frame_span.set_modelled_ms(outcome.total_ms());
     return outcome;
   }
   if (faults_.injector != nullptr && faults_.injector->next_cloud_crash())
@@ -107,24 +117,31 @@ FieldOutcome FieldSession::infer(const tensor::Tensor& input,
     breaker_.record_failure();
     if (obs::enabled())
       metrics().counter("cadmc.runtime.fault.deadline_misses").add(1);
+    obs::flight_fault(obs::FlightEventKind::kFault, "deadline_miss");
     outcome.transfer_ms = faults_.cloud_deadline_ms;
     return degrade_locally(outcome, features);
   }
   outcome.transfer_ms = transfer;
-  if (time_scale_ > 0.0) {
-    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-        outcome.transfer_ms * time_scale_));
+  {
+    obs::ScopedSpan transfer_span("transfer", faults_.metrics);
+    transfer_span.set_modelled_ms(outcome.transfer_ms);
+    if (time_scale_ > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          outcome.transfer_ms * time_scale_));
+    }
   }
   try {
     const RemoteResult remote = call_cloud(client_, features);
     breaker_.record_success();
     outcome.logits = remote.logits;
     outcome.cloud_ms = remote.cloud_ms;
+    frame_span.set_modelled_ms(outcome.total_ms());
     return outcome;
   } catch (const TransportError&) {
     breaker_.record_failure();
     if (obs::enabled())
       metrics().counter("cadmc.runtime.fault.deadline_misses").add(1);
+    obs::flight_fault(obs::FlightEventKind::kFault, "deadline_miss");
     // The wait until the deadline fired is what the failed attempt cost.
     outcome.transfer_ms = faults_.cloud_deadline_ms;
     return degrade_locally(outcome, features);

@@ -14,6 +14,8 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
 #include "runtime/fault.h"
 
 namespace cadmc::runtime {
@@ -22,7 +24,10 @@ namespace {
 
 constexpr std::size_t kLengthBytes = 8;
 constexpr std::size_t kCrcBytes = 4;
-constexpr std::size_t kHeaderBytes = kLengthBytes + kCrcBytes;
+constexpr std::size_t kHeaderBytes = kFrameHeaderBytes;
+static_assert(kFrameTraceOffset == kLengthBytes + kCrcBytes);
+static_assert(kFrameHeaderBytes ==
+              kFrameTraceOffset + kFrameTraceBytes + kCrcBytes);
 
 // Byte-wise little-endian codec — the wire format is LE on every host.
 void store_le(std::uint8_t* out, std::uint64_t v, std::size_t bytes) {
@@ -59,13 +64,30 @@ bool read_all(int fd, std::uint8_t* data, std::size_t len) {
   return true;
 }
 
+std::uint64_t double_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
 /// Whole frame (header + payload) in one buffer so a single send covers it
 /// and fault hooks can mutate specific bytes before it hits the wire.
-Blob encode_frame(const Blob& payload) {
+Blob encode_frame(const Blob& payload, const TraceContext& trace) {
   Blob frame(kHeaderBytes + payload.size());
   store_le(frame.data(), payload.size(), kLengthBytes);
   store_le(frame.data() + kLengthBytes, crc32(payload.data(), payload.size()),
            kCrcBytes);
+  std::uint8_t* t = frame.data() + kFrameTraceOffset;
+  store_le(t, trace.trace_id, 8);
+  store_le(t + 8, trace.span_id, 8);
+  store_le(t + 16, double_bits(trace.clock_ms), 8);
+  store_le(t + kFrameTraceBytes, crc32(t, kFrameTraceBytes), kCrcBytes);
   std::copy(payload.begin(), payload.end(), frame.begin() + kHeaderBytes);
   return frame;
 }
@@ -100,18 +122,29 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
   return crc ^ 0xFFFFFFFFu;
 }
 
-bool write_frame(int fd, const Blob& payload) {
-  const Blob frame = encode_frame(payload);
+bool write_frame(int fd, const Blob& payload, const TraceContext& trace) {
+  const Blob frame = encode_frame(payload, trace);
   return write_all(fd, frame.data(), frame.size());
 }
 
-bool read_frame(int fd, Blob& payload) {
+bool read_frame(int fd, Blob& payload, TraceContext* trace) {
+  if (trace != nullptr) *trace = {};
   std::uint8_t header[kHeaderBytes];
   if (!read_all(fd, header, kHeaderBytes)) return false;
   const std::uint64_t size = load_le(header, kLengthBytes);
   const auto expected_crc =
       static_cast<std::uint32_t>(load_le(header + kLengthBytes, kCrcBytes));
   if (size > (1ULL << 31)) return false;  // sanity cap: 2 GiB frames
+  // The trace section carries its own CRC: a corrupt context must degrade
+  // to a fresh root trace, never cost the frame (the payload has its own).
+  const std::uint8_t* t = header + kFrameTraceOffset;
+  if (trace != nullptr &&
+      static_cast<std::uint32_t>(load_le(t + kFrameTraceBytes, kCrcBytes)) ==
+          crc32(t, kFrameTraceBytes)) {
+    trace->trace_id = load_le(t, 8);
+    trace->span_id = load_le(t + 8, 8);
+    trace->clock_ms = bits_double(load_le(t + 16, 8));
+  }
   payload.resize(size);
   if (size > 0 && !read_all(fd, payload.data(), payload.size())) return false;
   if (crc32(payload.data(), payload.size()) != expected_crc) {
@@ -160,10 +193,22 @@ void TcpServer::serve() {
       break;  // listener closed
     }
     Blob request;
+    TraceContext trace;
     // A frame that fails the checksum poisons the stream framing, so the
     // connection is dropped; the client reconnects and retries.
-    while (running_ && read_frame(conn, request)) {
-      const Blob response = handler_(request);
+    while (running_ && read_frame(conn, request, &trace)) {
+      Blob response;
+      {
+        // Parent this request's spans under the sender's span and shift
+        // them into the sender's clock (offset ~ includes the uplink time,
+        // which is exactly where the frame sat).
+        obs::RemoteSpanScope remote(obs::RemoteContext{
+            trace.trace_id, trace.span_id,
+            trace.trace_id != 0 ? trace.clock_ms - obs::steady_now_ms()
+                                : 0.0});
+        CADMC_SPAN("transport_serve");
+        response = handler_(request);
+      }
       if (!write_frame(conn, response)) break;
     }
     ::close(conn);
@@ -226,7 +271,11 @@ bool TcpClient::send_request(const Blob& request, std::string& error) {
     }
     return true;
   }
-  Blob frame = encode_frame(request);
+  // Stamp the caller's trace context (innermost live span) into the header
+  // so the server's spans join this request's causal tree.
+  const obs::OutgoingContext ctx = obs::outgoing_context();
+  Blob frame = encode_frame(
+      request, TraceContext{ctx.trace_id, ctx.span_id, obs::steady_now_ms()});
   if (fault == FrameFault::kCorrupt)
     frame[frame.size() > kHeaderBytes ? kHeaderBytes : kLengthBytes] ^= 0xFF;
   if (fault == FrameFault::kTruncate)
@@ -245,6 +294,7 @@ bool TcpClient::send_request(const Blob& request, std::string& error) {
 Blob TcpClient::call(const Blob& request) {
   if (fd_ < 0 && port_ == 0)
     throw TransportError("TcpClient: not connected");
+  CADMC_SPAN("transport_call");
   const int attempts = 1 + std::max(0, config_.max_retries);
   double backoff = config_.backoff_ms;
   std::string error = "no attempt made";
@@ -278,6 +328,7 @@ Blob TcpClient::call(const Blob& request) {
     }
     close();
   }
+  obs::flight_fault(obs::FlightEventKind::kFault, "transport_error");
   throw TransportError("TcpClient::call: " + error + " after " +
                        std::to_string(attempts) + " attempt(s)");
 }

@@ -8,6 +8,11 @@
 // reconnect. Frames that fail the checksum are rejected and the connection
 // is dropped (stream framing can no longer be trusted). An optional
 // FaultInjector perturbs outgoing frames for chaos testing.
+//
+// Distributed tracing: every request frame carries a TraceContext (trace id,
+// parent span id, sender clock) in its header; the server installs it as the
+// remote parent for the handler's spans, so one inference yields a single
+// causal span tree across the edge/cloud partition boundary.
 #pragma once
 
 #include <atomic>
@@ -91,15 +96,37 @@ class TcpClient {
   FaultInjector* injector_ = nullptr;
 };
 
-/// Frame helpers (exposed for tests). Wire format, little-endian regardless
-/// of host byte order:
-///   [0..7]  payload length (u64 LE)
-///   [8..11] CRC32 (IEEE) of the payload (u32 LE)
-///   [12..]  payload
-bool write_frame(int fd, const Blob& payload);
-/// Returns false on short read, oversized frame, or checksum mismatch (the
-/// caller must drop the connection — framing is no longer trustworthy).
-bool read_frame(int fd, Blob& payload);
+/// Trace context carried in every frame header so the receiving process can
+/// parent its spans under the sender's request span (obs::RemoteSpanScope)
+/// and align clocks. trace_id == 0 means "no context" — the receiver starts
+/// a fresh root trace.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;   // sender's innermost live span
+  double clock_ms = 0.0;       // sender's obs::steady_now_ms() at encode time
+};
+
+/// Frame header layout (exposed for tests). Wire format, little-endian
+/// regardless of host byte order:
+///   [0..7]   payload length (u64 LE)
+///   [8..11]  CRC32 (IEEE) of the payload (u32 LE)
+///   [12..19] trace_id (u64 LE)
+///   [20..27] parent span_id (u64 LE)
+///   [28..35] sender steady-clock ms (f64 bit pattern as u64 LE)
+///   [36..39] CRC32 of bytes [12..35] (u32 LE) — guards the trace section
+///            independently of the payload, so a corrupt context degrades to
+///            a fresh root trace without losing the frame
+///   [40..]   payload
+constexpr std::size_t kFrameTraceOffset = 12;
+constexpr std::size_t kFrameTraceBytes = 24;
+constexpr std::size_t kFrameHeaderBytes = 8 + 4 + kFrameTraceBytes + 4;
+
+bool write_frame(int fd, const Blob& payload, const TraceContext& trace = {});
+/// Returns false on short read, oversized frame, or payload checksum
+/// mismatch (the caller must drop the connection — framing is no longer
+/// trustworthy). A trace section that fails its own checksum clears `trace`
+/// (fresh root) but keeps the frame.
+bool read_frame(int fd, Blob& payload, TraceContext* trace = nullptr);
 
 /// IEEE 802.3 CRC32 (the zlib polynomial), exposed for tests.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t len);

@@ -69,4 +69,11 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
 }  // namespace cadmc::util

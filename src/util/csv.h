@@ -34,4 +34,7 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& text);
 /// Loads a file into a string; returns false on failure.
 bool read_file(const std::string& path, std::string& out);
 
+/// Writes a string to a file (truncating); returns false on failure.
+bool write_file(const std::string& path, const std::string& content);
+
 }  // namespace cadmc::util

@@ -66,7 +66,7 @@ TEST(Framing, HeaderIsLittleEndianOnTheWire) {
   SocketPair sp;
   const Blob payload{0xDE, 0xAD, 0xBE, 0xEF, 0x42};
   ASSERT_TRUE(write_frame(sp.fds[0], payload));
-  std::uint8_t raw[12 + 5];
+  std::uint8_t raw[kFrameHeaderBytes + 5];
   ASSERT_EQ(::recv(sp.fds[1], raw, sizeof(raw), MSG_WAITALL),
             static_cast<ssize_t>(sizeof(raw)));
   // Length 5 as u64 LE: low byte first.
@@ -76,7 +76,8 @@ TEST(Framing, HeaderIsLittleEndianOnTheWire) {
   const std::uint32_t expected_crc = crc32(payload.data(), payload.size());
   for (int i = 0; i < 4; ++i)
     EXPECT_EQ(raw[8 + i], (expected_crc >> (8 * i)) & 0xFF) << "crc byte " << i;
-  EXPECT_EQ(std::memcmp(raw + 12, payload.data(), payload.size()), 0);
+  EXPECT_EQ(std::memcmp(raw + kFrameHeaderBytes, payload.data(), payload.size()),
+            0);
 }
 
 TEST(Framing, RoundTrip) {
@@ -96,10 +97,10 @@ TEST(Framing, CorruptPayloadRejectedByChecksum) {
   const Blob payload{1, 2, 3, 4, 5, 6, 7, 8};
   // Capture a valid frame, flip one payload byte, replay it.
   ASSERT_TRUE(write_frame(sp.fds[0], payload));
-  std::uint8_t raw[12 + 8];
+  std::uint8_t raw[kFrameHeaderBytes + 8];
   ASSERT_EQ(::recv(sp.fds[1], raw, sizeof(raw), MSG_WAITALL),
             static_cast<ssize_t>(sizeof(raw)));
-  raw[12 + 3] ^= 0x01;
+  raw[kFrameHeaderBytes + 3] ^= 0x01;
   ASSERT_EQ(::send(sp.fds[0], raw, sizeof(raw), 0),
             static_cast<ssize_t>(sizeof(raw)));
   Blob back;
@@ -111,7 +112,7 @@ TEST(Framing, ShortReadRejected) {
   SocketPair sp;
   // Header promises 100 bytes but the stream ends after 3.
   const Blob payload{9, 9, 9};
-  Blob frame(12);
+  Blob frame(kFrameHeaderBytes);
   frame[0] = 100;
   frame.insert(frame.end(), payload.begin(), payload.end());
   ASSERT_EQ(::send(sp.fds[0], frame.data(), frame.size(), 0),

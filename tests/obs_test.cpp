@@ -4,12 +4,34 @@
 // report rendering.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <thread>
 
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/trace_export.h"
 #include "util/csv.h"
+
+// Global allocation counter so a test can prove a code path allocates
+// nothing. Replacing the global operator new is binary-wide, so the counter
+// just ticks; behaviour is otherwise unchanged.
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace cadmc::obs {
 namespace {
@@ -235,6 +257,28 @@ TEST(Export, EmptyRegistryRendersPlaceholder) {
   MetricsRegistry reg;
   EXPECT_NE(render_report(make_report(reg)).find("no metrics"),
             std::string::npos);
+}
+
+TEST(Span, DisabledSpanCostsNoAllocationOrBookkeeping) {
+  // The zero-cost guarantee hot paths rely on: while collection AND flight
+  // recording are both off, CADMC_SPAN must not allocate (its name stays a
+  // const char*, no std::string is materialised) and must not touch the
+  // span stack or mint ids.
+  EnabledGuard guard(false);
+  const bool was_flight = flight_recording();
+  set_flight_recording(false);
+  {
+    ScopedSpan probe("probe");
+    EXPECT_FALSE(probe.active());
+    EXPECT_EQ(probe.id(), 0u);
+    EXPECT_EQ(probe.trace_id(), 0u);
+  }
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    CADMC_SPAN("zero_cost");
+  }
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed) - before, 0u);
+  set_flight_recording(was_flight);
 }
 
 TEST(Registry, ResetDropsEverything) {

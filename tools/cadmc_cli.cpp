@@ -11,11 +11,17 @@
 //                 [--inferences 40] [--field] [--outage-rate 0.05]
 //                 [--outage-ms 800] [--deadline-ms 300] [--no-fallback]
 //                 [--fault-seed 64023]
-//   cadmc report  --metrics run.metrics.jsonl
+//   cadmc report  --metrics edge.jsonl,cloud.jsonl [--trace-out t.json]
+//   cadmc bench   [--filter transport] [--compare bench/baselines]
+//                 [--out-dir .] [--repetitions 30] [--threshold 0.15]
 //
 // Any subcommand accepts --metrics-out <path>: it enables metric/span
 // collection, writes the JSONL event stream there on exit, and prints the
-// aggregate run report. `cadmc report` re-renders a saved stream.
+// aggregate run report. It also accepts --trace-out <path>: the collected
+// span stream is rendered as a Chrome trace-event / Perfetto JSON document.
+// `cadmc report` re-renders saved streams — several comma-separated files
+// (e.g. the edge and cloud halves of a field run) are merged into one
+// report, their spans joined by shared trace ids.
 //
 // Every subcommand is deterministic for a given --seed.
 #include <cstdio>
@@ -23,9 +29,11 @@
 #include <string>
 
 #include "bench/common.h"
+#include "bench/perf_core.h"
 #include "latency/compute_model.h"
 #include "latency/device_profile.h"
 #include "obs/export.h"
+#include "obs/trace_export.h"
 #include "tree/tree_io.h"
 #include "util/csv.h"
 #include "util/string_util.h"
@@ -259,20 +267,52 @@ int cmd_emulate(const Flags& flags) {
 }
 
 int cmd_report(const Flags& flags) {
-  const std::string path = flag_or(flags, "metrics", "");
-  if (path.empty()) {
-    std::fprintf(stderr, "--metrics <file.jsonl> is required\n");
+  const std::string paths = flag_or(flags, "metrics", "");
+  if (paths.empty()) {
+    std::fprintf(stderr, "--metrics <file.jsonl[,file2.jsonl,...]> is required\n");
     return 2;
   }
-  std::string text;
-  if (!util::read_file(path, text)) {
-    std::fprintf(stderr, "cannot read %s\n", path.c_str());
-    return 1;
+  // Merge the streams of several processes (edge + cloud halves of a field
+  // run): their spans share trace ids, so the per-trace rollup and the
+  // exported Chrome trace stitch them back into single causal trees.
+  std::vector<std::map<std::string, std::string>> events;
+  for (const std::string& raw : util::split(paths, ',')) {
+    const std::string path = util::trim(raw);
+    if (path.empty()) continue;
+    std::string text;
+    if (!util::read_file(path, text)) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    const auto parsed = obs::parse_jsonl(text);
+    events.insert(events.end(), parsed.begin(), parsed.end());
   }
-  const auto events = obs::parse_jsonl(text);
-  std::printf("%zu events in %s\n%s", events.size(), path.c_str(),
+  std::printf("%zu events in %s\n%s", events.size(), paths.c_str(),
               obs::render_report(obs::report_from_events(events)).c_str());
+  const std::string trace_out = flag_or(flags, "trace-out", "");
+  if (!trace_out.empty()) {
+    const std::string doc = obs::chrome_trace_from_events(events);
+    if (!util::write_file(trace_out, doc)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("chrome trace saved to %s (load in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                trace_out.c_str());
+  }
   return 0;
+}
+
+int cmd_bench(const Flags& flags) {
+  bench::PerfSuiteConfig config;
+  config.out_dir = flag_or(flags, "out-dir", ".");
+  config.compare_dir = flag_or(flags, "compare", "");
+  config.filter = flag_or(flags, "filter", "");
+  config.repetitions = std::stoi(flag_or(flags, "repetitions", "30"));
+  config.warmup = std::stoi(flag_or(flags, "warmup", "5"));
+  config.episodes = std::stoi(flag_or(flags, "episodes", "12"));
+  config.threshold = std::stod(flag_or(flags, "threshold", "0.15"));
+  return bench::run_perf_suite(config);
 }
 
 void usage() {
@@ -286,9 +326,15 @@ void usage() {
       "  emulate --model M --device D --scene S [--field]\n"
       "          [--outage-rate R] [--outage-ms MS] [--deadline-ms MS]\n"
       "          [--no-fallback] [--fault-seed N]   fault-injected runs\n"
-      "  report  --metrics run.metrics.jsonl  render a saved metrics stream\n"
+      "  report  --metrics a.jsonl[,b.jsonl]  render saved metrics streams\n"
+      "          [--trace-out trace.json]     (multiple files are merged by\n"
+      "                                        trace id, e.g. edge + cloud)\n"
+      "  bench   [--filter SUBSTR] [--compare bench/baselines]\n"
+      "          [--out-dir DIR] [--repetitions N] [--warmup N]\n"
+      "          [--episodes N] [--threshold FRAC]   perf-regression guard\n"
       "Any command also takes --metrics-out <path> to collect and save\n"
-      "a metrics/span JSONL stream and print the run report on exit.\n");
+      "a metrics/span JSONL stream and print the run report on exit, and\n"
+      "--trace-out <path> to save the spans as a Chrome/Perfetto trace.\n");
 }
 
 int dispatch(const std::string& command, const Flags& flags) {
@@ -299,6 +345,7 @@ int dispatch(const std::string& command, const Flags& flags) {
   if (command == "compose") return cmd_compose(flags);
   if (command == "emulate") return cmd_emulate(flags);
   if (command == "report") return cmd_report(flags);
+  if (command == "bench") return cmd_bench(flags);
   usage();
   return 2;
 }
@@ -314,7 +361,10 @@ int main(int argc, char** argv) {
   const Flags flags = parse_flags(argc, argv, 2);
   obs::init_from_env();
   const std::string metrics_out = flag_or(flags, "metrics-out", "");
-  if (!metrics_out.empty()) obs::set_enabled(true);
+  // `report` reads saved streams; its own --trace-out is handled there.
+  const std::string trace_out =
+      command != "report" ? flag_or(flags, "trace-out", "") : "";
+  if (!metrics_out.empty() || !trace_out.empty()) obs::set_enabled(true);
   int rc;
   try {
     rc = dispatch(command, flags);
@@ -322,13 +372,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  const auto& registry = obs::MetricsRegistry::global();
   if (!metrics_out.empty()) {
-    const auto& registry = obs::MetricsRegistry::global();
     if (obs::export_jsonl(registry, metrics_out))
       std::printf("\nmetrics saved to %s\n", metrics_out.c_str());
     else
       std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
     std::printf("%s", obs::render_report(obs::make_report(registry)).c_str());
+  }
+  if (!trace_out.empty()) {
+    if (obs::export_chrome_trace(registry, trace_out))
+      std::printf("chrome trace saved to %s (load in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
+                  trace_out.c_str());
+    else
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
   }
   return rc;
 }
