@@ -14,7 +14,9 @@
 #include "obs/trace_export.h"
 #include "runtime/decision_engine.h"
 #include "runtime/transport.h"
+#include "tree/tree_search.h"
 #include "util/csv.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -267,6 +269,56 @@ PerfStats bench_emulated_frame(const PerfSuiteConfig& config,
                  [&] { runner.run_surgery(); });
 }
 
+PerfStats bench_parallel_search(const PerfSuiteConfig& config) {
+  // A full-depth K=4 tree with a distinct random compression plan in every
+  // node: 4^3 = 64 leaf trajectories to price, each with its own cache keys.
+  // This is the estimate_backward fan-out that util::parallel_for spreads
+  // across the pool — run with CADMC_THREADS=1 (or --threads 1) to reproduce
+  // the committed single-thread baseline. MobileNet rather than the suite's
+  // AlexNet: its many small layers keep one leaf realization cheap, so a
+  // repetition is dominated by the fan-out, not by one giant FC allocation.
+  const nn::Model base = nn::make_mobilenet();
+  const std::vector<std::size_t> boundaries = nn::block_boundaries(base, 3);
+  latency::TransferModel transfer;
+  transfer.rtt_ms = 15.0;
+  partition::PartitionEvaluator pe(
+      latency::ComputeLatencyModel(latency::phone_profile()),
+      latency::ComputeLatencyModel(latency::cloud_profile()), transfer);
+  const engine::StrategyEvaluator seed_evaluator(
+      base, pe, engine::AccuracyModel(0.8404, base.size(), 41),
+      engine::RewardConfig{});
+  const std::vector<double> forks = {
+      latency::mbps_to_bytes_per_ms(1.0), latency::mbps_to_bytes_per_ms(4.0),
+      latency::mbps_to_bytes_per_ms(10.0), latency::mbps_to_bytes_per_ms(25.0)};
+  tree::ModelTree tree(base, boundaries, forks);
+  util::Rng rng(0x9A12);
+  const std::function<void(tree::TreeNode&)> scramble =
+      [&](tree::TreeNode& node) {
+        const std::size_t begin = tree.block_begin(node.depth);
+        const std::size_t len = tree.block_len(node.depth);
+        node.cut_local = len;  // no partition: keep every path full depth
+        const auto masks = seed_evaluator.technique_masks(begin, begin + len);
+        node.block_plan.resize(len);
+        for (std::size_t i = 0; i < len; ++i)
+          node.block_plan[i] = static_cast<compress::TechniqueId>(
+              masks[i][rng.uniform_index(masks[i].size())]);
+        for (tree::TreeNode& child : node.children) scramble(child);
+      };
+  for (tree::TreeNode& child : tree.root().children) scramble(child);
+
+  tree::TreeSearchConfig tc;
+  tc.hidden_dim = 4;  // controllers are not exercised by estimate_backward
+  return measure("parallel_search", config.warmup, config.repetitions, [&] {
+    // A fresh evaluator every repetition: the benchmark must time cold-cache
+    // pricing of all 64 leaf trajectories, not sharded-cache hits.
+    engine::StrategyEvaluator evaluator(
+        base, pe, engine::AccuracyModel(0.8404, base.size(), 41),
+        engine::RewardConfig{});
+    tree::TreeSearch search(evaluator, boundaries, forks, tc);
+    search.estimate_backward(tree);
+  });
+}
+
 constexpr int kSpanBatch = 512;
 
 PerfStats bench_span_overhead_disabled(const PerfSuiteConfig& config) {
@@ -314,6 +366,8 @@ int run_perf_suite(const PerfSuiteConfig& config) {
     results.push_back(bench_transport_roundtrip(config));
   if (selected("emulated_frame"))
     results.push_back(bench_emulated_frame(config, ctx));
+  if (selected("parallel_search"))
+    results.push_back(bench_parallel_search(config));
   if (selected("span_overhead_disabled"))
     results.push_back(bench_span_overhead_disabled(config));
   if (selected("span_overhead_enabled"))

@@ -1,7 +1,8 @@
 // Perf-regression harness core (shared by bench/perf_regress and the
 // `cadmc bench` subcommand). Each benchmark times one hot path — decision
 // engine inference, a branch-search rollout, a transport round-trip, an
-// emulated frame, span bookkeeping — over warmup + measured repetitions and
+// emulated frame, the parallel estimate_backward fan-out, span bookkeeping —
+// over warmup + measured repetitions and
 // reduces the samples to canonical PerfStats (p50/p90/p99, throughput).
 //
 // Stats round-trip through one-line JSON files named BENCH_<name>.json (the

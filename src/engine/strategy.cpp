@@ -4,9 +4,23 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace cadmc::engine {
+
+namespace {
+
+// Cache hit/miss/insert accounting per evaluator cache ("memo",
+// "edge_latency", "mask"). `insert` counts *winning* inserts only: under
+// concurrency two threads may compute the same key and race, and the loser's
+// duplicate is dropped by ShardedCache — the hit+miss totals still add up.
+void count_cache(const char* cache, const char* event) {
+  if (!obs::enabled()) return;  // skip the name allocation on the hot path
+  obs::count(std::string("cadmc.eval.cache.") + cache + "." + event);
+}
+
+}  // namespace
 
 std::string Strategy::key() const {
   std::ostringstream ss;
@@ -68,8 +82,11 @@ std::vector<std::vector<int>> StrategyEvaluator::technique_masks(
     throw std::out_of_range("technique_masks: bad slice");
   const std::string cache_key =
       std::to_string(slice_begin) + ":" + std::to_string(slice_end);
-  if (auto it = mask_cache_.find(cache_key); it != mask_cache_.end())
-    return it->second;
+  if (auto cached = mask_cache_.find(cache_key)) {
+    count_cache("mask", "hit");
+    return *std::move(cached);
+  }
+  count_cache("mask", "miss");
   const nn::Model slice = base_->slice(slice_begin, slice_end);
   std::vector<std::vector<int>> masks;
   masks.reserve(slice.size());
@@ -79,7 +96,7 @@ std::vector<std::vector<int>> StrategyEvaluator::technique_masks(
       mask.push_back(static_cast<int>(id));
     masks.push_back(std::move(mask));
   }
-  mask_cache_.emplace(cache_key, masks);
+  if (mask_cache_.insert(cache_key, masks)) count_cache("mask", "insert");
   return masks;
 }
 
@@ -91,18 +108,25 @@ double StrategyEvaluator::edge_slice_latency_ms(const Strategy& s,
   for (std::size_t i = begin; i < end; ++i)
     key << static_cast<int>(s.plan[i]);
   const std::string k = key.str();
-  if (auto it = edge_latency_cache_.find(k); it != edge_latency_cache_.end())
-    return it->second;
+  if (auto cached = edge_latency_cache_.find(k)) {
+    count_cache("edge_latency", "hit");
+    return *cached;
+  }
+  count_cache("edge_latency", "miss");
 
   nn::Model slice = base_->slice(begin, end);
   std::vector<compress::TechniqueId> sub_plan(
       s.plan.begin() + static_cast<std::ptrdiff_t>(begin),
       s.plan.begin() + static_cast<std::ptrdiff_t>(end));
-  util::Rng rng(realize_seed_++);
+  // The realization seed is a pure function of (base seed, cache key): the
+  // same (slice, plan) always realizes identical placeholder weights, no
+  // matter which call — or thread — gets here first.
+  std::uint64_t seed_state = realize_seed_ ^ util::fnv1a64(k);
+  util::Rng rng(util::splitmix64(seed_state));
   registry_.apply_plan(sub_plan, slice, rng);
   const double ms =
       partition_eval_.edge_model().range_latency_ms(slice, 0, slice.size());
-  edge_latency_cache_.emplace(k, ms);
+  if (edge_latency_cache_.insert(k, ms)) count_cache("edge_latency", "insert");
   return ms;
 }
 
@@ -130,7 +154,11 @@ Evaluation StrategyEvaluator::evaluate_trajectory(
   for (double bw : bandwidth_per_block)
     memo_key << "~" << static_cast<std::int64_t>(bw * 16.0);  // bandwidth bucket
   const std::string mk = memo_key.str();
-  if (auto it = memo_.find(mk); it != memo_.end()) return it->second;
+  if (auto cached = memo_.find(mk)) {
+    count_cache("memo", "hit");
+    return *cached;
+  }
+  count_cache("memo", "miss");
 
   // Block j spans base layers [block_begin[j], block_end[j]).
   std::vector<std::size_t> edges{0};
@@ -161,7 +189,7 @@ Evaluation StrategyEvaluator::evaluate_trajectory(
   eval.latency_ms = eval.breakdown.total_ms();
   eval.accuracy = accuracy_model_.estimate(s.plan);
   eval.reward = reward_config_.reward(eval.accuracy, eval.latency_ms);
-  memo_.emplace(mk, eval);
+  if (memo_.insert(mk, eval)) count_cache("memo", "insert");
   return eval;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace cadmc::rl {
 
 std::vector<int> StrategySpace::random_genome(util::Rng& rng) const {
@@ -29,14 +31,23 @@ SearchOutcome random_search(const StrategySpace& space,
                             const GenomeEvaluator& evaluate, int episodes,
                             std::uint64_t seed) {
   util::Rng rng(seed);
+  // The population is independent of the rewards, so draw every genome
+  // up front (same RNG sequence as the serial loop), evaluate the
+  // population in parallel, and scan for the incumbent serially — the
+  // outcome is identical to the sequential algorithm for any thread count.
+  std::vector<std::vector<int>> genomes;
+  genomes.reserve(static_cast<std::size_t>(std::max(episodes, 0)));
+  for (int e = 0; e < episodes; ++e)
+    genomes.push_back(space.random_genome(rng));
+  std::vector<double> rewards(genomes.size(), 0.0);
+  util::parallel_for(genomes.size(),
+                     [&](std::size_t i) { rewards[i] = evaluate(genomes[i]); });
   SearchOutcome outcome;
-  for (int e = 0; e < episodes; ++e) {
-    const std::vector<int> genome = space.random_genome(rng);
-    const double reward = evaluate(genome);
-    outcome.log.record(reward);
-    if (e == 0 || reward > outcome.best_reward) {
-      outcome.best_reward = reward;
-      outcome.best_genome = genome;
+  for (std::size_t e = 0; e < genomes.size(); ++e) {
+    outcome.log.record(rewards[e]);
+    if (e == 0 || rewards[e] > outcome.best_reward) {
+      outcome.best_reward = rewards[e];
+      outcome.best_genome = genomes[e];
     }
   }
   return outcome;

@@ -30,7 +30,11 @@ struct SearchOutcome {
   EpisodeLog log;
 };
 
-/// Uniform random sampling of the space, `episodes` evaluations.
+/// Uniform random sampling of the space, `episodes` evaluations. The
+/// population is drawn up front and evaluated via util::parallel_for, so
+/// `evaluate` must be safe to call concurrently (StrategyEvaluator-backed
+/// objectives are); the outcome is identical to the sequential scan for any
+/// thread count.
 SearchOutcome random_search(const StrategySpace& space,
                             const GenomeEvaluator& evaluate, int episodes,
                             std::uint64_t seed);

@@ -7,6 +7,7 @@
 
 #include "latency/transfer_model.h"
 #include "obs/span.h"
+#include "util/thread_pool.h"
 
 namespace cadmc::tree {
 
@@ -54,6 +55,7 @@ void TreeSearch::generate_forward(ModelTree& tree, util::Rng& rng, double alpha,
     int action = p.action;
     if (config_.fair_chance && rng.bernoulli(force_prob)) {
       action = static_cast<int>(block_len);  // no partition
+      d.forced = true;
       obs::count("cadmc.search.forced_actions");
     }
     d.partition_action = action;
@@ -86,55 +88,87 @@ void TreeSearch::generate_forward(ModelTree& tree, util::Rng& rng, double alpha,
 }
 
 void TreeSearch::estimate_backward(ModelTree& tree) const {
+  obs::ScopedSpan span("estimate_backward");
   const std::size_t num_blocks = tree.num_blocks();
-  // Terminal nodes get their composed-branch reward (Alg. 3 lines 13-25);
-  // parents then average their children (lines 27-31).
+
+  // Phase 1: collect the terminal nodes and their fork paths (Alg. 3
+  // lines 13-25) so the expensive trajectory evaluations can fan out.
+  struct Leaf {
+    TreeNode* node = nullptr;
+    std::vector<int> path;
+  };
+  std::vector<Leaf> leaves;
   std::vector<int> path;
-  const std::function<void(TreeNode&)> walk = [&](TreeNode& node) {
+  const std::function<void(TreeNode&)> collect = [&](TreeNode& node) {
     path.push_back(node.fork);
     if (node.children.empty()) {
-      const auto ps = tree.strategy_for_path(path);
-      std::vector<double> bandwidths(num_blocks,
-                                     fork_bandwidths_[static_cast<std::size_t>(path.back())]);
-      for (std::size_t level = 0; level < path.size() && level < num_blocks; ++level)
-        bandwidths[level] = fork_bandwidths_[static_cast<std::size_t>(path[level])];
-      const Evaluation eval = evaluator_->evaluate_trajectory(
-          ps.strategy, boundaries_, bandwidths);
-      node.reward = eval.reward;
+      leaves.push_back({&node, path});
     } else {
-      double sum = 0.0;
-      for (TreeNode& c : node.children) {
-        walk(c);
-        sum += c.reward;
-      }
-      node.reward = config_.backward_averaging
-                        ? sum / static_cast<double>(node.children.size())
-                        : 0.0;
+      for (TreeNode& c : node.children) collect(c);
     }
     path.pop_back();
   };
+  for (TreeNode& c : tree.root().children) collect(c);
+
+  // Phase 2: price every terminal path concurrently. Each task writes only
+  // its own node's reward, and evaluations are pure (thread-safe evaluator,
+  // key-derived realization seeds), so the result is order-independent.
+  util::parallel_for(leaves.size(), [&](std::size_t i) {
+    const Leaf& leaf = leaves[i];
+    const auto ps = tree.strategy_for_path(leaf.path);
+    std::vector<double> bandwidths(
+        num_blocks, fork_bandwidths_[static_cast<std::size_t>(leaf.path.back())]);
+    for (std::size_t level = 0; level < leaf.path.size() && level < num_blocks;
+         ++level)
+      bandwidths[level] =
+          fork_bandwidths_[static_cast<std::size_t>(leaf.path[level])];
+    leaf.node->reward =
+        evaluator_->evaluate_trajectory(ps.strategy, boundaries_, bandwidths)
+            .reward;
+  });
+
+  // Phase 3: serial backward averaging (lines 27-31) in child order, so the
+  // floating-point sums match the single-threaded walk bit for bit. The
+  // root honors backward_averaging exactly like every interior node.
+  const std::function<double(TreeNode&)> aggregate = [&](TreeNode& node) {
+    if (node.children.empty()) return node.reward;
+    double sum = 0.0;
+    for (TreeNode& c : node.children) sum += aggregate(c);
+    node.reward = config_.backward_averaging
+                      ? sum / static_cast<double>(node.children.size())
+                      : 0.0;
+    return node.reward;
+  };
   double root_sum = 0.0;
-  for (TreeNode& c : tree.root().children) {
-    walk(c);
-    root_sum += c.reward;
-  }
-  tree.root().reward = root_sum / static_cast<double>(tree.root().children.size());
+  for (TreeNode& c : tree.root().children) root_sum += aggregate(c);
+  tree.root().reward =
+      config_.backward_averaging
+          ? root_sum / static_cast<double>(tree.root().children.size())
+          : 0.0;
 }
 
 double TreeSearch::tree_expected_reward(const ModelTree& tree) const {
   const std::size_t num_blocks = tree.num_blocks();
   const double k = static_cast<double>(tree.num_forks());
-  double expected = 0.0;
-  for (const auto& path : tree.all_paths()) {
+  const auto paths = tree.all_paths();
+  std::vector<double> rewards(paths.size(), 0.0);
+  util::parallel_for(paths.size(), [&](std::size_t i) {
+    const auto& path = paths[i];
     const auto ps = tree.strategy_for_path(path);
     std::vector<double> bandwidths(num_blocks,
                                    fork_bandwidths_[static_cast<std::size_t>(path.back())]);
     for (std::size_t level = 0; level < path.size() && level < num_blocks; ++level)
       bandwidths[level] = fork_bandwidths_[static_cast<std::size_t>(path[level])];
-    const Evaluation eval =
-        evaluator_->evaluate_trajectory(ps.strategy, boundaries_, bandwidths);
-    expected += eval.reward * std::pow(1.0 / k, static_cast<double>(path.size()));
-  }
+    rewards[i] =
+        evaluator_->evaluate_trajectory(ps.strategy, boundaries_, bandwidths)
+            .reward;
+  });
+  // Serial reduction in path order keeps the sum bit-identical to a
+  // single-threaded run.
+  double expected = 0.0;
+  for (std::size_t i = 0; i < paths.size(); ++i)
+    expected +=
+        rewards[i] * std::pow(1.0 / k, static_cast<double>(paths[i].size()));
   return expected;
 }
 
@@ -149,15 +183,19 @@ TreeSearchResult TreeSearch::run() {
   // each onto the all-k path of the incumbent tree (Sec. VII-A).
   if (config_.boost_with_branches) {
     obs::ScopedSpan boost_span("boost_branches");
-    for (std::size_t k = 0; k < fork_bandwidths_.size(); ++k) {
+    // One independent Alg. 1 search per bandwidth type: each has its own
+    // seeded controllers and RNG, so running them concurrently against the
+    // shared evaluator changes nothing but wall-clock time.
+    result.branch_results.resize(fork_bandwidths_.size());
+    util::parallel_for(fork_bandwidths_.size(), [&](std::size_t k) {
       engine::BranchSearchConfig bc = config_.branch_config;
       bc.seed = config_.seed ^ (0xB0057ULL + k);
       engine::BranchSearch branch(*evaluator_, bc);
-      auto br = branch.run(fork_bandwidths_[k]);
+      result.branch_results[k] = branch.run(fork_bandwidths_[k]);
+    });
+    for (const engine::BranchSearchResult& br : result.branch_results)
       result.best_branch_reward =
           std::max(result.best_branch_reward, br.best_eval.reward);
-      result.branch_results.push_back(std::move(br));
-    }
     // Mixed-fork paths inherit the strongest single branch as a floor; the
     // all-k paths then get their fork-matched branches (Sec. VII-A).
     std::size_t best_k = 0;
@@ -223,7 +261,16 @@ TreeSearchResult TreeSearch::run() {
     bool any_compression = false;
     for (const NodeDecision& d : decisions) {
       const double advantage = (d.node->reward - b) / 40.0;
-      partition_.accumulate_grad(d.block_features, d.partition_action, advantage);
+      // Fair-chance overrides are exploration, not policy output: crediting
+      // the forced no-partition action would bias the gradient toward it.
+      // The compression actions below were genuinely sampled (conditioned
+      // on the forced cut), so they still receive credit.
+      if (d.forced) {
+        obs::count("cadmc.search.forced_grad_skips");
+      } else {
+        partition_.accumulate_grad(d.block_features, d.partition_action,
+                                   advantage);
+      }
       if (d.compressed) {
         compression_.accumulate_grad(d.comp_features, d.masks,
                                      d.compression_actions, advantage);

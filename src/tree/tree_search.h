@@ -12,6 +12,13 @@
 // no-partition probability alpha * (N-n)/N, decaying over episodes) and
 // optimal-branch boosting (grafting per-fork Alg. 1 solutions into the
 // incumbent tree so it never underperforms the optimal branch).
+//
+// The evaluation fan-outs — terminal-path pricing in estimate_backward /
+// tree_expected_reward and the per-fork branch searches in boost mode — run
+// on util::parallel_for against the thread-safe StrategyEvaluator. Results
+// are bit-identical for any thread count: parallel stages only fill
+// per-index slots, and every reduction (child averaging, expected-reward
+// sum, incumbent selection) stays serial in the original order.
 #pragma once
 
 #include "engine/branch_search.h"
@@ -63,6 +70,12 @@ class TreeSearch {
   /// (uniform) probability of each fork path.
   double tree_expected_reward(const ModelTree& tree) const;
 
+  /// Backward reward estimation (Alg. 3 lines 13-31): terminal nodes are
+  /// priced across their bandwidth trajectory (in parallel), then parents —
+  /// including the root — average their children when
+  /// config.backward_averaging is set, and stay 0 otherwise.
+  void estimate_backward(ModelTree& tree) const;
+
  private:
   struct NodeDecision {
     TreeNode* node = nullptr;
@@ -72,10 +85,10 @@ class TreeSearch {
     std::vector<std::vector<int>> masks;
     std::vector<int> compression_actions;
     bool compressed = false;  // whether compression actions were sampled
+    bool forced = false;      // fair-chance override replaced the sample
   };
   void generate_forward(ModelTree& tree, util::Rng& rng, double alpha,
                         std::vector<NodeDecision>& decisions);
-  void estimate_backward(ModelTree& tree) const;
 
   const engine::StrategyEvaluator* evaluator_;
   std::vector<std::size_t> boundaries_;

@@ -1,0 +1,86 @@
+// Striped-mutex memo cache: a string-keyed map split into fixed shards, each
+// behind its own mutex, so concurrent readers on different keys rarely
+// contend. Values are returned by copy — entries are immutable once
+// inserted, and a copy keeps no lock or reference alive outside the shard.
+//
+// The insert-wins-once semantics (emplace; a racing duplicate is dropped)
+// are safe precisely because every cached value is a pure function of its
+// key: two threads that miss the same key compute identical values, so it
+// does not matter whose insert lands.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace cadmc::util {
+
+/// FNV-1a 64-bit hash; also used to derive deterministic per-key RNG seeds
+/// (engine::StrategyEvaluator), so it must stay platform-stable.
+inline std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename Value>
+class ShardedCache {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  std::optional<Value> find(const std::string& key) const {
+    const Shard& s = shard(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Returns true when the key was newly inserted (false: a racing thread
+  /// got there first; the existing entry is kept).
+  bool insert(const std::string& key, Value value) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.map.emplace(key, std::move(value)).second;
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      total += s.map.size();
+    }
+    return total;
+  }
+
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      s.map.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Value> map;
+  };
+
+  const Shard& shard(const std::string& key) const {
+    return shards_[fnv1a64(key) % kShards];
+  }
+  Shard& shard(const std::string& key) {
+    return shards_[fnv1a64(key) % kShards];
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace cadmc::util

@@ -122,14 +122,16 @@ void Accumulator::add(double x) {
     max_ = std::max(max_, x);
   }
   ++n_;
-  sum_ += x;
-  sum_sq_ += x * x;
+  // Welford update: m2_ accumulates squared deviations without ever forming
+  // sum(x^2), which loses all precision when mean^2 >> variance.
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
 }
 
 double Accumulator::stddev() const {
   if (n_ == 0) return 0.0;
-  const double m = mean();
-  const double v = sum_sq_ / static_cast<double>(n_) - m * m;
+  const double v = m2_ / static_cast<double>(n_);  // population variance
   return v > 0.0 ? std::sqrt(v) : 0.0;
 }
 

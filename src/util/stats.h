@@ -67,20 +67,23 @@ std::vector<double> fit_multilinear(const std::vector<std::vector<double>>& xs,
 /// R^2 of predictions vs observations.
 double r_squared(std::span<const double> y_true, std::span<const double> y_pred);
 
-/// Streaming mean/min/max/stddev accumulator.
+/// Streaming mean/min/max/stddev accumulator. Variance uses Welford's
+/// online algorithm: the naive sum-of-squares formula cancels
+/// catastrophically for large-mean/small-variance series — exactly the
+/// shape of latency samples in ms.
 class Accumulator {
  public:
   void add(double x);
   std::size_t count() const { return n_; }
-  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double mean() const { return mean_; }
   double min() const { return min_; }
   double max() const { return max_; }
   double stddev() const;
 
  private:
   std::size_t n_ = 0;
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
   double min_ = 0.0;
   double max_ = 0.0;
 };

@@ -1,0 +1,149 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace cadmc::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+std::size_t env_threads() {
+  const char* env = std::getenv("CADMC_THREADS");
+  if (!env || !*env) return 0;
+  try {
+    const long long n = std::stoll(env);
+    return n > 0 ? static_cast<std::size_t>(n) : 0;
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+// 0 = "use env/hardware default".
+std::atomic<std::size_t> g_configured_threads{0};
+
+}  // namespace
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? n : 1;
+}
+
+std::size_t configured_threads() {
+  const std::size_t n = g_configured_threads.load(std::memory_order_relaxed);
+  if (n > 0) return n;
+  const std::size_t env = env_threads();
+  return env > 0 ? env : hardware_threads();
+}
+
+void set_configured_threads(std::size_t n) {
+  g_configured_threads.store(n, std::memory_order_relaxed);
+}
+
+ThreadPool& global_pool() {
+  // Sized once for the largest plausible fan-out: the configured count may
+  // drop to 1 later (determinism tests flip it), which just idles workers.
+  static ThreadPool pool(
+      std::max(configured_threads(), hardware_threads()) - 1);
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  const std::size_t threads = configured_threads();
+  if (n <= 1 || threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::size_t total = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  state->total = n;
+  state->fn = &fn;
+
+  // Shared-pull loop: claim the next index until the range is exhausted.
+  // Helpers and the caller run the same loop, so progress never depends on
+  // the pool actually scheduling anything.
+  const auto drain = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      const std::size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->total) return;
+      try {
+        (*s->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        if (!s->error) s->error = std::current_exception();
+      }
+      if (s->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          s->total) {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        s->done_cv.notify_all();
+      }
+    }
+  };
+
+  ThreadPool& pool = global_pool();
+  const std::size_t helpers =
+      std::min({threads - 1, pool.workers(), n - 1});
+  for (std::size_t h = 0; h < helpers; ++h)
+    pool.submit([state, drain] { drain(state); });
+
+  drain(state);
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock, [&] {
+      return state->completed.load(std::memory_order_acquire) == state->total;
+    });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace cadmc::util

@@ -1,0 +1,75 @@
+// Fixed-size thread pool and the `parallel_for` fan-out primitive used by
+// the search hot paths (tree backward estimation, per-fork branch search,
+// baseline-search populations).
+//
+// Concurrency model:
+//  * One lazily-created global pool shared by every fan-out site. Its worker
+//    count is resolved once, from `--threads` / set_configured_threads() or
+//    the CADMC_THREADS environment variable, defaulting to
+//    std::thread::hardware_concurrency().
+//  * parallel_for(n, fn) is work-sharing: the *calling* thread claims indices
+//    from the same atomic counter as the pool workers, so the call completes
+//    even when every pool worker is busy (or the pool has zero workers) —
+//    nested parallel_for calls cannot deadlock.
+//  * Determinism contract: fn(i) must write only into slot i of its output;
+//    under that contract results are bit-identical for any thread count,
+//    which is what the `ctest -L search` determinism suite asserts.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cadmc::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 is legal: submit() then queues tasks that
+  /// only ever run via an external drain, which parallel_for provides).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return threads_.size(); }
+
+  /// Enqueues a task. Tasks must not throw (parallel_for wraps user
+  /// callables and captures their exceptions itself).
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Hardware thread count, never 0.
+std::size_t hardware_threads();
+
+/// The effective thread count for parallel_for: the last
+/// set_configured_threads() value, else CADMC_THREADS, else
+/// hardware_threads(). Always >= 1.
+std::size_t configured_threads();
+
+/// Overrides the thread count (CLI --threads). 0 resets to the
+/// environment/hardware default.
+void set_configured_threads(std::size_t n);
+
+/// The shared pool behind parallel_for, created on first use.
+ThreadPool& global_pool();
+
+/// Runs fn(0..n-1) across the global pool plus the calling thread; returns
+/// once every index completed. Serial (no pool touched) when n <= 1 or
+/// configured_threads() == 1. The first exception thrown by fn is rethrown
+/// on the caller after the loop drains.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace cadmc::util

@@ -1,14 +1,18 @@
 // Unit tests for src/util: RNG determinism, statistics, fitting, CSV,
-// tables and string helpers.
+// tables, string helpers, the thread pool and the sharded cache.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/csv.h"
 #include "util/rng.h"
+#include "util/sharded_cache.h"
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace cadmc::util {
 namespace {
@@ -204,6 +208,77 @@ TEST(Accumulator, TracksMoments) {
   EXPECT_DOUBLE_EQ(acc.min(), 1.0);
   EXPECT_DOUBLE_EQ(acc.max(), 3.0);
   EXPECT_NEAR(acc.stddev(), std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(Accumulator, StddevSurvivesLargeMeanSmallVariance) {
+  // Latency-shaped series: huge mean, tiny spread. The old sum-of-squares
+  // formula lost every significant bit here and reported 0.
+  Accumulator acc;
+  for (double v : {1e9 + 1.0, 1e9 + 2.0, 1e9 + 3.0}) acc.add(v);
+  EXPECT_NEAR(acc.mean(), 1e9 + 2.0, 1e-3);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(2.0 / 3.0), 1e-6);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  const std::size_t saved = configured_threads();
+  set_configured_threads(4);
+  std::vector<int> hits(1000, 0);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  set_configured_threads(saved);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  const std::size_t saved = configured_threads();
+  set_configured_threads(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(parallel_for(64,
+                            [&](std::size_t i) {
+                              if (i == 13) throw std::runtime_error("boom");
+                              completed.fetch_add(1);
+                            }),
+               std::runtime_error);
+  set_configured_threads(saved);
+  EXPECT_EQ(completed.load(), 63);  // the loop drains before rethrowing
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  const std::size_t saved = configured_threads();
+  set_configured_threads(4);
+  std::atomic<int> total{0};
+  parallel_for(8, [&](std::size_t) {
+    parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  set_configured_threads(saved);
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, SerialWhenConfiguredSingleThreaded) {
+  const std::size_t saved = configured_threads();
+  set_configured_threads(1);
+  const auto main_thread = std::this_thread::get_id();
+  parallel_for(16, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), main_thread);
+  });
+  set_configured_threads(saved);
+}
+
+TEST(ShardedCache, InsertOnceFindEverywhere) {
+  ShardedCache<double> cache;
+  EXPECT_FALSE(cache.find("a").has_value());
+  EXPECT_TRUE(cache.insert("a", 1.5));
+  EXPECT_FALSE(cache.insert("a", 9.9));  // first write wins
+  ASSERT_TRUE(cache.find("a").has_value());
+  EXPECT_DOUBLE_EQ(*cache.find("a"), 1.5);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedCache, Fnv1a64IsStable) {
+  // The evaluator derives realization seeds from this hash; pin the value.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
 }
 
 TEST(Csv, RoundTrip) {

@@ -15,6 +15,10 @@
 //   cadmc bench   [--filter transport] [--compare bench/baselines]
 //                 [--out-dir .] [--repetitions 30] [--threshold 0.15]
 //
+// Any subcommand accepts --threads <N>: the size of the worker pool the
+// search fan-outs run on (overrides the CADMC_THREADS environment variable;
+// default: hardware concurrency). Results are bit-identical for any N.
+//
 // Any subcommand accepts --metrics-out <path>: it enables metric/span
 // collection, writes the JSONL event stream there on exit, and prints the
 // aggregate run report. It also accepts --trace-out <path>: the collected
@@ -38,6 +42,7 @@
 #include "util/csv.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace cadmc;
 
@@ -332,7 +337,9 @@ void usage() {
       "  bench   [--filter SUBSTR] [--compare bench/baselines]\n"
       "          [--out-dir DIR] [--repetitions N] [--warmup N]\n"
       "          [--episodes N] [--threshold FRAC]   perf-regression guard\n"
-      "Any command also takes --metrics-out <path> to collect and save\n"
+      "Any command also takes --threads <N> to size the search worker pool\n"
+      "(overrides CADMC_THREADS; default: hardware concurrency; results are\n"
+      "bit-identical for any N), --metrics-out <path> to collect and save\n"
       "a metrics/span JSONL stream and print the run report on exit, and\n"
       "--trace-out <path> to save the spans as a Chrome/Perfetto trace.\n");
 }
@@ -360,6 +367,16 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Flags flags = parse_flags(argc, argv, 2);
   obs::init_from_env();
+  const std::string threads = flag_or(flags, "threads", "");
+  if (!threads.empty()) {
+    try {
+      util::set_configured_threads(std::stoul(threads));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "--threads expects a number, got '%s'\n",
+                   threads.c_str());
+      return 2;
+    }
+  }
   const std::string metrics_out = flag_or(flags, "metrics-out", "");
   // `report` reads saved streams; its own --trace-out is handled there.
   const std::string trace_out =
