@@ -8,7 +8,11 @@
 #include <optional>
 
 #include "bench/common.h"
+#include "data/synth_cifar.h"
+#include "engine/accuracy_model.h"
 #include "latency/device_profile.h"
+#include "nn/conv.h"
+#include "nn/factory.h"
 #include "obs/export.h"
 #include "obs/span.h"
 #include "obs/trace_export.h"
@@ -319,6 +323,54 @@ PerfStats bench_parallel_search(const PerfSuiteConfig& config) {
   });
 }
 
+// --- Compute-kernel benches (the math engine under search and serving). ---
+// Shapes are CIFAR-scale on purpose: they match what the distillation loop
+// and the edge-slice executors actually run. Committed baselines under
+// bench/baselines/ were captured with CADMC_THREADS=1 on the naive loop-nest
+// kernels, so --compare against them shows the blocked-kernel speedup (and
+// guards it: ratios drifting back toward 1.0 mean the kernels regressed).
+
+PerfStats bench_gemm_nn(const PerfSuiteConfig& config) {
+  util::Rng rng(0x6E44);
+  const auto a = tensor::Tensor::randn({160, 160}, rng);
+  const auto b = tensor::Tensor::randn({160, 160}, rng);
+  return measure("gemm_nn", config.warmup, config.repetitions,
+                 [&] { tensor::matmul(a, b); });
+}
+
+PerfStats bench_conv_forward(const PerfSuiteConfig& config) {
+  util::Rng rng(0xC0F4);
+  nn::Conv2d conv(32, 64, 3, 1, 1, rng);
+  const auto x = tensor::Tensor::randn({4, 32, 16, 16}, rng, 0.3f);
+  return measure("conv_forward", config.warmup, config.repetitions,
+                 [&] { conv.forward(x, false); });
+}
+
+PerfStats bench_conv_backward(const PerfSuiteConfig& config) {
+  util::Rng rng(0xC0B4);
+  nn::Conv2d conv(32, 64, 3, 1, 1, rng);
+  const auto x = tensor::Tensor::randn({4, 32, 16, 16}, rng, 0.3f);
+  const auto grad = tensor::Tensor::randn({4, 64, 16, 16}, rng, 0.1f);
+  conv.forward(x, true);  // cache the input once; backward re-reads it
+  return measure("conv_backward", config.warmup, config.repetitions,
+                 [&] { conv.backward(grad); });
+}
+
+PerfStats bench_distill_train(const PerfSuiteConfig& config) {
+  // The RealAccuracyEvaluator::train_and_evaluate hot loop (Alg. 3 /
+  // Sec. VII): every parallel-search candidate pays this path, so its p50 is
+  // the wall-clock floor of performance-driven search.
+  const data::SynthCifar dataset(12, 4, 0xD157, /*noise=*/0.15);
+  const nn::Model base = nn::make_tiny_cnn(4, 12, 8);
+  const engine::RealAccuracyEvaluator evaluator(base, dataset, 128, 64, 16,
+                                                /*train_steps=*/8, /*lr=*/0.05);
+  std::uint64_t seed = 100;
+  return measure("distill_train", config.warmup, config.repetitions, [&] {
+    nn::Model student = nn::make_tiny_cnn(4, 12, seed++);
+    evaluator.train_and_evaluate(student);
+  });
+}
+
 constexpr int kSpanBatch = 512;
 
 PerfStats bench_span_overhead_disabled(const PerfSuiteConfig& config) {
@@ -368,6 +420,10 @@ int run_perf_suite(const PerfSuiteConfig& config) {
     results.push_back(bench_emulated_frame(config, ctx));
   if (selected("parallel_search"))
     results.push_back(bench_parallel_search(config));
+  if (selected("gemm_nn")) results.push_back(bench_gemm_nn(config));
+  if (selected("conv_forward")) results.push_back(bench_conv_forward(config));
+  if (selected("conv_backward")) results.push_back(bench_conv_backward(config));
+  if (selected("distill_train")) results.push_back(bench_distill_train(config));
   if (selected("span_overhead_disabled"))
     results.push_back(bench_span_overhead_disabled(config));
   if (selected("span_overhead_enabled"))

@@ -5,6 +5,7 @@
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/span.h"
 #include "util/rng.h"
 
 namespace cadmc::engine {
@@ -87,6 +88,7 @@ RealAccuracyEvaluator::RealAccuracyEvaluator(nn::Model base,
 }
 
 double RealAccuracyEvaluator::train_and_evaluate(nn::Model& candidate) const {
+  CADMC_SPAN("distill_train");
   data::DataLoader loader(dataset_, 0, train_examples_, batch_size_);
   nn::Sgd optimizer(lr_, 0.9);
   for (int step = 0; step < train_steps_; ++step) {

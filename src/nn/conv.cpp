@@ -1,5 +1,6 @@
 #include "nn/conv.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -33,12 +34,23 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
 }
 
 Tensor Conv2d::forward(const Tensor& input, bool training) {
-  if (training) cached_input_ = input;
+  if (training) {
+    cached_input_ = input;
+  } else {
+    // An inference forward must not leave a stale activation behind: a later
+    // backward() would silently differentiate against the wrong input.
+    cached_input_ = Tensor();
+  }
+  has_cached_input_ = training;
   tensor::Conv2dSpec cspec{stride_, padding_, groups_};
   return tensor::conv2d(input, weight_, bias_, cspec);
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (!has_cached_input_)
+    throw std::logic_error(
+        "Conv2d::backward: no cached input — call forward(training=true) "
+        "before backward");
   tensor::Conv2dSpec cspec{stride_, padding_, groups_};
   auto grads =
       tensor::conv2d_backward(cached_input_, weight_, has_bias_, grad_out, cspec);
@@ -89,12 +101,16 @@ std::unique_ptr<Layer> Conv2d::clone() const {
 }
 
 void Conv2d::zero_filters(const std::vector<int>& filter_indices) {
-  const std::int64_t per_filter = weight_.numel() / out_channels_;
+  // Filter f is one contiguous [cig*k*k] row of weight_; operate on row
+  // spans instead of per-element at() calls.
+  const std::size_t per_filter =
+      static_cast<std::size_t>(weight_.numel() / out_channels_);
+  float* w = weight_.data().data();
   for (int f : filter_indices) {
     if (f < 0 || f >= out_channels_)
       throw std::out_of_range("Conv2d::zero_filters: bad index");
-    for (std::int64_t i = 0; i < per_filter; ++i)
-      weight_.at(f * per_filter + i) = 0.0f;
+    std::fill_n(w + static_cast<std::size_t>(f) * per_filter, per_filter,
+                0.0f);
     if (has_bias_) bias_.at(f) = 0.0f;
   }
 }
@@ -108,14 +124,16 @@ void Conv2d::keep_filters(const std::vector<int>& filter_indices) {
   const int new_out = static_cast<int>(filter_indices.size());
   Tensor new_weight({new_out, cig, kernel_, kernel_});
   Tensor new_bias = has_bias_ ? Tensor({new_out}) : Tensor();
+  const std::size_t per_filter =
+      static_cast<std::size_t>(cig) * kernel_ * kernel_;
+  const float* src = weight_.data().data();
+  float* dst = new_weight.data().data();
   for (int nf = 0; nf < new_out; ++nf) {
     const int f = filter_indices[static_cast<std::size_t>(nf)];
     if (f < 0 || f >= out_channels_)
       throw std::out_of_range("Conv2d::keep_filters: bad index");
-    for (int c = 0; c < cig; ++c)
-      for (int ky = 0; ky < kernel_; ++ky)
-        for (int kx = 0; kx < kernel_; ++kx)
-          new_weight(nf, c, ky, kx) = weight_(f, c, ky, kx);
+    std::copy_n(src + static_cast<std::size_t>(f) * per_filter, per_filter,
+                dst + static_cast<std::size_t>(nf) * per_filter);
     if (has_bias_) new_bias(nf) = bias_(f);
   }
   out_channels_ = new_out;
@@ -133,14 +151,18 @@ void Conv2d::keep_input_channels(const std::vector<int>& channel_indices) {
   const int new_in = static_cast<int>(channel_indices.size());
   if (new_in <= 0) throw std::invalid_argument("Conv2d::keep_input_channels: empty");
   Tensor new_weight({out_channels_, new_in, kernel_, kernel_});
+  // Per (filter, channel) the k*k patch is contiguous in both tensors.
+  const std::size_t ksq = static_cast<std::size_t>(kernel_) * kernel_;
+  const float* src = weight_.data().data();
+  float* dst = new_weight.data().data();
   for (int f = 0; f < out_channels_; ++f)
     for (int nc = 0; nc < new_in; ++nc) {
       const int c = channel_indices[static_cast<std::size_t>(nc)];
       if (c < 0 || c >= in_channels_)
         throw std::out_of_range("Conv2d::keep_input_channels: bad index");
-      for (int ky = 0; ky < kernel_; ++ky)
-        for (int kx = 0; kx < kernel_; ++kx)
-          new_weight(f, nc, ky, kx) = weight_(f, c, ky, kx);
+      std::copy_n(
+          src + (static_cast<std::size_t>(f) * in_channels_ + c) * ksq, ksq,
+          dst + (static_cast<std::size_t>(f) * new_in + nc) * ksq);
     }
   in_channels_ = new_in;
   weight_ = std::move(new_weight);
@@ -149,11 +171,13 @@ void Conv2d::keep_input_channels(const std::vector<int>& channel_indices) {
 
 std::vector<double> Conv2d::filter_saliency() const {
   std::vector<double> saliency(static_cast<std::size_t>(out_channels_), 0.0);
-  const std::int64_t per_filter = weight_.numel() / out_channels_;
+  const std::size_t per_filter =
+      static_cast<std::size_t>(weight_.numel() / out_channels_);
+  const float* w = weight_.data().data();
   for (int f = 0; f < out_channels_; ++f) {
+    const float* row = w + static_cast<std::size_t>(f) * per_filter;
     double s = 0.0;
-    for (std::int64_t i = 0; i < per_filter; ++i)
-      s += std::fabs(weight_.at(f * per_filter + i));
+    for (std::size_t i = 0; i < per_filter; ++i) s += std::fabs(row[i]);
     saliency[static_cast<std::size_t>(f)] = s / static_cast<double>(per_filter);
   }
   return saliency;

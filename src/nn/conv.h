@@ -57,6 +57,7 @@ class Conv2d : public Layer {
   Tensor weight_, bias_;
   Tensor weight_grad_, bias_grad_;
   Tensor cached_input_;
+  bool has_cached_input_ = false;
 };
 
 }  // namespace cadmc::nn

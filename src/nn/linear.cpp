@@ -1,6 +1,7 @@
 #include "nn/linear.h"
 
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
 
 #include "tensor/ops.h"
@@ -24,23 +25,42 @@ Tensor Linear::forward(const Tensor& input, bool training) {
   if (input.rank() != 2 || input.dim(1) != in_features_)
     throw std::invalid_argument("Linear: expected [N," +
                                 std::to_string(in_features_) + "] input");
-  if (training) cached_input_ = input;
+  if (training) {
+    cached_input_ = input;
+  } else {
+    // See Conv2d::forward: a stale cache must not survive inference calls.
+    cached_input_ = Tensor();
+  }
+  has_cached_input_ = training;
   Tensor out = tensor::matmul_nt(input, weight_);  // [N, out]
   if (has_bias_) {
     const int n = out.dim(0);
-    for (int i = 0; i < n; ++i)
-      for (int j = 0; j < out_features_; ++j) out(i, j) += bias_(j);
+    const float* __restrict b = bias_.data().data();
+    for (int i = 0; i < n; ++i) {
+      float* __restrict row = out.data().data() +
+                              static_cast<std::ptrdiff_t>(i) * out_features_;
+      for (int j = 0; j < out_features_; ++j) row[j] += b[j];
+    }
   }
   return out;
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
+  if (!has_cached_input_)
+    throw std::logic_error(
+        "Linear::backward: no cached input — call forward(training=true) "
+        "before backward");
   // dW = grad_out^T [N,out]^T * input [N,in] -> [out,in]
   weight_grad_.add_(tensor::matmul_tn(grad_out, cached_input_));
   if (has_bias_) {
     const int n = grad_out.dim(0);
-    for (int i = 0; i < n; ++i)
-      for (int j = 0; j < out_features_; ++j) bias_grad_(j) += grad_out(i, j);
+    float* __restrict bg = bias_grad_.data().data();
+    for (int i = 0; i < n; ++i) {
+      const float* __restrict row =
+          grad_out.data().data() +
+          static_cast<std::ptrdiff_t>(i) * out_features_;
+      for (int j = 0; j < out_features_; ++j) bg[j] += row[j];
+    }
   }
   // dX = grad_out [N,out] * W [out,in] -> [N,in]
   return tensor::matmul(grad_out, weight_);

@@ -1,77 +1,459 @@
+// Blocked, thread-parallel compute kernels. See ops.h for the accumulation
+// contract and ops_reference.cpp for the naive loop nests that define it.
+//
+// Structure:
+//  * One register-blocked GEMM micro-kernel (double accumulators over a
+//    packed kNR-column B-panel) shared by matmul/matmul_tn/matmul_nt and by
+//    both convolution directions.
+//  * conv2d lowers to im2col + GEMM per (batch, group); 1x1 stride-1
+//    unpadded convs skip the im2col copy entirely (the input already is the
+//    column matrix) and depthwise convs use a direct per-channel loop.
+//  * conv2d_backward computes dweight as a row-dot GEMM against the same
+//    column matrix, and dinput as W^T x grad_out into a double-precision
+//    dcol buffer followed by a col2im *gather* (each input element owns its
+//    own accumulator — no scatter races, no atomics).
+//  * Scratch (im2col matrices, packed panels, dcol) comes from the
+//    per-thread tensor::ScratchArena; fan-out runs on util::parallel_for
+//    with every output element owned by exactly one task, which is what
+//    makes results bit-identical for any thread count.
 #include "tensor/ops.h"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 #include <stdexcept>
+
+#include "obs/metrics.h"
+#include "tensor/ops_detail.h"
+#include "tensor/scratch.h"
+#include "util/thread_pool.h"
 
 namespace cadmc::tensor {
 
 namespace {
-void check_rank2(const Tensor& t, const char* name) {
-  if (t.rank() != 2) throw std::invalid_argument(std::string(name) + ": expected rank-2 tensor");
+
+using detail::ConvDims;
+
+constexpr int kNR = 8;       // micro-kernel panel width (columns of C)
+constexpr int kJBlock = 64;  // columns per parallel task (multiple of kNR)
+// Rows below this skip panel packing (the pack cost would rival the math).
+constexpr int kPackMinRows = 4;
+// Multiply-adds below this run serially: pool dispatch costs more than it
+// saves. The threshold only picks serial-vs-parallel execution — results
+// are bit-identical either way.
+constexpr std::int64_t kParallelMinMacc = 1 << 16;
+
+void note_gemm_flops(std::int64_t macc) {
+  if (obs::enabled()) obs::count("cadmc.kernel.gemm_flops", 2 * macc);
 }
+
+void note_im2col_bytes(std::int64_t bytes) {
+  if (obs::enabled()) obs::count("cadmc.kernel.im2col_bytes", bytes);
+}
+
+// How B is laid out in memory: kRowMajorKN is B[k][n] (matmul, matmul_tn,
+// im2col columns), kRowMajorNK is B[n][k] (matmul_nt).
+enum class BLayout { kRowMajorKN, kRowMajorNK };
+
+// panel[kk*jw + jj] = B(kk, j0+jj) for a B[k][ldb] row-major operand.
+void pack_panel_kn(const float* __restrict src, int ldb, int k, int j0,
+                   int jw, float* __restrict dst) {
+  for (int kk = 0; kk < k; ++kk) {
+    const float* __restrict s =
+        src + static_cast<std::ptrdiff_t>(kk) * ldb + j0;
+    float* __restrict p = dst + static_cast<std::ptrdiff_t>(kk) * jw;
+    for (int jj = 0; jj < jw; ++jj) p[jj] = s[jj];
+  }
+}
+
+// panel[kk*jw + jj] = B(j0+jj, kk) for a B[n][ldb] row-major operand (NT).
+void pack_panel_nk(const float* __restrict src, int ldb, int k, int j0,
+                   int jw, float* __restrict dst) {
+  for (int jj = 0; jj < jw; ++jj) {
+    const float* __restrict s =
+        src + static_cast<std::ptrdiff_t>(j0 + jj) * ldb;
+    for (int kk = 0; kk < k; ++kk)
+      dst[static_cast<std::ptrdiff_t>(kk) * jw + jj] = s[kk];
+  }
+}
+
+// One C-row x B-panel update:
+//   c[jj] = float(init + sum_{kk ascending} a[kk] * panel[kk*jw + jj])
+// The jw == kNR case is split out so the inner loop has a compile-time trip
+// count (vectorizes); both branches run the identical per-element sequence.
+void micro_kernel(const float* __restrict a, const float* __restrict panel,
+                  int k, int jw, double init, float* __restrict c) {
+  double acc[kNR];
+  if (jw == kNR) {
+    for (int jj = 0; jj < kNR; ++jj) acc[jj] = init;
+    for (int kk = 0; kk < k; ++kk) {
+      const double av = a[kk];
+      const float* __restrict brow =
+          panel + static_cast<std::ptrdiff_t>(kk) * kNR;
+      for (int jj = 0; jj < kNR; ++jj) acc[jj] += av * brow[jj];
+    }
+    for (int jj = 0; jj < kNR; ++jj) c[jj] = static_cast<float>(acc[jj]);
+  } else {
+    for (int jj = 0; jj < jw; ++jj) acc[jj] = init;
+    for (int kk = 0; kk < k; ++kk) {
+      const double av = a[kk];
+      const float* __restrict brow =
+          panel + static_cast<std::ptrdiff_t>(kk) * jw;
+      for (int jj = 0; jj < jw; ++jj) acc[jj] += av * brow[jj];
+    }
+    for (int jj = 0; jj < jw; ++jj) c[jj] = static_cast<float>(acc[jj]);
+  }
+}
+
+// Computes C[i][j0..j1) for every row i, with A rows contiguous (lda >= k).
+// row_init may be null (zero init) or point at m per-row initial values
+// (conv bias). Runs inside one parallel task; only touches its own columns.
+void gemm_columns(const float* a, int lda, const float* b, int ldb,
+                  BLayout layout, int m, int k, const float* row_init,
+                  float* c, int ldc, int jbegin, int jend) {
+  ScratchArena& arena = ScratchArena::local();
+  if (m >= kPackMinRows) {
+    for (int j0 = jbegin; j0 < jend; j0 += kNR) {
+      const int jw = std::min(kNR, jend - j0);
+      const auto panel = arena.floats(
+          ScratchArena::kPanel, static_cast<std::size_t>(k) * jw);
+      if (layout == BLayout::kRowMajorKN)
+        pack_panel_kn(b, ldb, k, j0, jw, panel.data());
+      else
+        pack_panel_nk(b, ldb, k, j0, jw, panel.data());
+      for (int i = 0; i < m; ++i)
+        micro_kernel(a + static_cast<std::ptrdiff_t>(i) * lda, panel.data(),
+                     k, jw, row_init ? static_cast<double>(row_init[i]) : 0.0,
+                     c + static_cast<std::ptrdiff_t>(i) * ldc + j0);
+    }
+    return;
+  }
+  // Few rows: packing would cost as much as the math. KN streams B rows into
+  // a double accumulator row (axpy style); NT rows are already contiguous
+  // dot products. Per-element operand order is unchanged: k ascending.
+  const int width = jend - jbegin;
+  if (layout == BLayout::kRowMajorKN) {
+    const auto accrow = arena.doubles(ScratchArena::kPanel,
+                                      static_cast<std::size_t>(width));
+    for (int i = 0; i < m; ++i) {
+      const double init = row_init ? static_cast<double>(row_init[i]) : 0.0;
+      double* __restrict acc = accrow.data();
+      for (int jj = 0; jj < width; ++jj) acc[jj] = init;
+      const float* __restrict arow = a + static_cast<std::ptrdiff_t>(i) * lda;
+      for (int kk = 0; kk < k; ++kk) {
+        const double av = arow[kk];
+        const float* __restrict brow =
+            b + static_cast<std::ptrdiff_t>(kk) * ldb + jbegin;
+        for (int jj = 0; jj < width; ++jj) acc[jj] += av * brow[jj];
+      }
+      float* __restrict crow =
+          c + static_cast<std::ptrdiff_t>(i) * ldc + jbegin;
+      for (int jj = 0; jj < width; ++jj)
+        crow[jj] = static_cast<float>(acc[jj]);
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      const double init = row_init ? static_cast<double>(row_init[i]) : 0.0;
+      const float* __restrict arow = a + static_cast<std::ptrdiff_t>(i) * lda;
+      float* __restrict crow = c + static_cast<std::ptrdiff_t>(i) * ldc;
+      for (int j = jbegin; j < jend; ++j) {
+        const float* __restrict brow =
+            b + static_cast<std::ptrdiff_t>(j) * ldb;
+        double acc = init;
+        for (int kk = 0; kk < k; ++kk)
+          acc += static_cast<double>(arow[kk]) * brow[kk];
+        crow[j] = static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+// Full C = A * B (+ row_init), parallel over column blocks.
+void gemm_blocked(const float* a, int lda, const float* b, int ldb,
+                  BLayout layout, int m, int n, int k, const float* row_init,
+                  float* c, int ldc) {
+  note_gemm_flops(static_cast<std::int64_t>(m) * n * k);
+  const int jblocks = (n + kJBlock - 1) / kJBlock;
+  const bool parallel =
+      jblocks > 1 &&
+      static_cast<std::int64_t>(m) * n * k >= kParallelMinMacc;
+  util::parallel_for_if(parallel, static_cast<std::size_t>(jblocks),
+                        [&](std::size_t jb) {
+                          const int jbegin = static_cast<int>(jb) * kJBlock;
+                          const int jend = std::min(n, jbegin + kJBlock);
+                          gemm_columns(a, lda, b, ldb, layout, m, k, row_init,
+                                       c, ldc, jbegin, jend);
+                        });
+}
+
+// im2col for one (batch, group) slice: src is the [cig][h][w] input block,
+// dst the [cig*k*k][ho*wo] column matrix with zero-filled padded taps. Row
+// order (icg, ky, kx) is the accumulation order of the contract.
+void im2col_slice(const float* __restrict src, const ConvDims& d,
+                  const Conv2dSpec& spec, float* __restrict dst) {
+  const int hw = d.h * d.w;
+  for (int icg = 0; icg < d.cig; ++icg) {
+    const float* __restrict plane =
+        src + static_cast<std::ptrdiff_t>(icg) * hw;
+    for (int ky = 0; ky < d.k; ++ky) {
+      for (int kx = 0; kx < d.k; ++kx) {
+        float* __restrict row =
+            dst + (static_cast<std::ptrdiff_t>(icg) * d.k * d.k +
+                   ky * d.k + kx) *
+                      d.how;
+        for (int oy = 0; oy < d.ho; ++oy) {
+          const int iy = oy * spec.stride + ky - spec.padding;
+          float* __restrict r = row + static_cast<std::ptrdiff_t>(oy) * d.wo;
+          if (iy < 0 || iy >= d.h) {
+            for (int ox = 0; ox < d.wo; ++ox) r[ox] = 0.0f;
+            continue;
+          }
+          const float* __restrict irow =
+              plane + static_cast<std::ptrdiff_t>(iy) * d.w;
+          if (spec.stride == 1) {
+            // Contiguous middle, zero edges — the common 3x3 pad-1 case
+            // copies wo-2 floats straight through.
+            int ox = 0;
+            for (; ox < d.wo; ++ox) {
+              const int ix = ox + kx - spec.padding;
+              if (ix >= 0) break;
+              r[ox] = 0.0f;
+            }
+            const int first_ix = ox + kx - spec.padding;
+            const int run = std::min(d.wo - ox, d.w - first_ix);
+            std::copy_n(irow + first_ix, run > 0 ? run : 0, r + ox);
+            for (ox += std::max(run, 0); ox < d.wo; ++ox) r[ox] = 0.0f;
+          } else {
+            for (int ox = 0; ox < d.wo; ++ox) {
+              const int ix = ox * spec.stride + kx - spec.padding;
+              r[ox] = (ix >= 0 && ix < d.w) ? irow[ix] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+bool is_pointwise(const ConvDims& d, const Conv2dSpec& spec) {
+  return d.k == 1 && spec.padding == 0 && spec.stride == 1;
+}
+
+bool is_depthwise(const ConvDims& d) { return d.cig == 1 && d.co_per_g == 1; }
+
+// Builds (or aliases) the [n*groups] stack of column matrices. For pointwise
+// convs the input itself is the column matrix, so no copy happens. Returns
+// the row pointer for (b, g): row kk is `col(b,g) + kk*how`.
+struct ColMatrix {
+  const float* base = nullptr;     // pointwise: input; else arena buffer
+  std::ptrdiff_t bg_stride = 0;    // elements between (b,g) slices
+  const float* slice(int b, int g, int groups) const {
+    return base + (static_cast<std::ptrdiff_t>(b) * groups + g) * bg_stride;
+  }
+};
+
+ColMatrix build_col_matrix(const float* in, const ConvDims& d,
+                           const Conv2dSpec& spec) {
+  ColMatrix col;
+  if (is_pointwise(d, spec)) {
+    // Input [n][ci][hw] viewed as n*groups slices of [cig][how]; how == hw.
+    col.base = in;
+    col.bg_stride = static_cast<std::ptrdiff_t>(d.cig) * d.how;
+    return col;
+  }
+  const std::size_t slice_elems =
+      static_cast<std::size_t>(d.kk) * static_cast<std::size_t>(d.how);
+  const std::size_t total =
+      slice_elems * static_cast<std::size_t>(d.n) * d.groups;
+  // The caller's arena owns the matrix: it must outlive both fan-outs below,
+  // and workers only ever read it.
+  const auto buf = ScratchArena::local().floats(ScratchArena::kIm2col, total);
+  note_im2col_bytes(static_cast<std::int64_t>(total * sizeof(float)));
+  const int hw = d.h * d.w;
+  const std::size_t slices = static_cast<std::size_t>(d.n) * d.groups;
+  const bool parallel =
+      slices > 1 &&
+      static_cast<std::int64_t>(total) >= kParallelMinMacc;
+  util::parallel_for_if(parallel, slices, [&](std::size_t t) {
+    const int b = static_cast<int>(t) / d.groups;
+    const int g = static_cast<int>(t) % d.groups;
+    const float* src =
+        in + (static_cast<std::ptrdiff_t>(b) * d.ci + g * d.cig) * hw;
+    im2col_slice(src, d, spec, buf.data() + t * slice_elems);
+  });
+  col.base = buf.data();
+  col.bg_stride = static_cast<std::ptrdiff_t>(slice_elems);
+  return col;
+}
+
+void depthwise_forward(const float* in, const float* wgt, const float* bs,
+                       const ConvDims& d, const Conv2dSpec& spec, float* out) {
+  const int hw = d.h * d.w;
+  const int ksq = d.k * d.k;
+  const std::size_t planes = static_cast<std::size_t>(d.n) * d.co;
+  const bool parallel =
+      planes > 1 && static_cast<std::int64_t>(planes) * d.how * ksq >=
+                        kParallelMinMacc;
+  note_gemm_flops(static_cast<std::int64_t>(planes) * d.how * ksq);
+  util::parallel_for_if(parallel, planes, [&](std::size_t t) {
+    const int b = static_cast<int>(t) / d.co;
+    const int c = static_cast<int>(t) % d.co;  // group == in ch == out ch
+    const float* __restrict plane =
+        in + (static_cast<std::ptrdiff_t>(b) * d.ci + c) * hw;
+    const float* __restrict wrow =
+        wgt + static_cast<std::ptrdiff_t>(c) * ksq;
+    float* __restrict o =
+        out + (static_cast<std::ptrdiff_t>(b) * d.co + c) * d.how;
+    const double init = bs ? static_cast<double>(bs[c]) : 0.0;
+    for (int oy = 0; oy < d.ho; ++oy) {
+      for (int ox = 0; ox < d.wo; ++ox) {
+        double acc = init;
+        for (int ky = 0; ky < d.k; ++ky) {
+          const int iy = oy * spec.stride + ky - spec.padding;
+          for (int kx = 0; kx < d.k; ++kx) {
+            const int ix = ox * spec.stride + kx - spec.padding;
+            const float v = (iy >= 0 && iy < d.h && ix >= 0 && ix < d.w)
+                                ? plane[static_cast<std::ptrdiff_t>(iy) * d.w +
+                                        ix]
+                                : 0.0f;
+            acc += static_cast<double>(v) * wrow[ky * d.k + kx];
+          }
+        }
+        o[static_cast<std::ptrdiff_t>(oy) * d.wo + ox] =
+            static_cast<float>(acc);
+      }
+    }
+  });
+}
+
+void depthwise_backward(const float* in, const float* wgt, const float* go,
+                        const ConvDims& d, const Conv2dSpec& spec,
+                        bool has_bias, Conv2dGrads& grads) {
+  const int hw = d.h * d.w;
+  const int ksq = d.k * d.k;
+  float* __restrict dw = grads.weight.data().data();
+  float* __restrict din = grads.input.data().data();
+  float* __restrict dbias = has_bias ? grads.bias.data().data() : nullptr;
+  const std::size_t channels = static_cast<std::size_t>(d.co);
+  const bool parallel =
+      channels > 1 &&
+      static_cast<std::int64_t>(d.n) * d.co * d.how * ksq >= kParallelMinMacc;
+  util::parallel_for_if(parallel, channels, [&](std::size_t ct) {
+    const int c = static_cast<int>(ct);
+    const float* __restrict wrow =
+        wgt + static_cast<std::ptrdiff_t>(c) * ksq;
+    // dbias[c] over (b, oy, ox).
+    if (dbias) {
+      double acc = 0.0;
+      for (int b = 0; b < d.n; ++b) {
+        const float* __restrict gorow =
+            go + (static_cast<std::ptrdiff_t>(b) * d.co + c) * d.how;
+        for (int j = 0; j < d.how; ++j) acc += gorow[j];
+      }
+      dbias[c] = static_cast<float>(acc);
+    }
+    // dweight[c][ky][kx] over (b, oy, ox) with padded taps as zeros.
+    for (int ky = 0; ky < d.k; ++ky) {
+      for (int kx = 0; kx < d.k; ++kx) {
+        double acc = 0.0;
+        for (int b = 0; b < d.n; ++b) {
+          const float* __restrict plane =
+              in + (static_cast<std::ptrdiff_t>(b) * d.ci + c) * hw;
+          const float* __restrict gorow =
+              go + (static_cast<std::ptrdiff_t>(b) * d.co + c) * d.how;
+          for (int oy = 0; oy < d.ho; ++oy) {
+            const int iy = oy * spec.stride + ky - spec.padding;
+            for (int ox = 0; ox < d.wo; ++ox) {
+              const int ix = ox * spec.stride + kx - spec.padding;
+              const float v = (iy >= 0 && iy < d.h && ix >= 0 && ix < d.w)
+                                  ? plane[static_cast<std::ptrdiff_t>(iy) *
+                                              d.w +
+                                          ix]
+                                  : 0.0f;
+              acc += static_cast<double>(
+                         gorow[static_cast<std::ptrdiff_t>(oy) * d.wo + ox]) *
+                     v;
+            }
+          }
+        }
+        dw[static_cast<std::ptrdiff_t>(c) * ksq + ky * d.k + kx] =
+            static_cast<float>(acc);
+      }
+    }
+    // dinput[b][c][iy][ix] over (ky, kx); the group has one output channel,
+    // so the reference's per-tap subtotal is a single product.
+    for (int b = 0; b < d.n; ++b) {
+      const float* __restrict gorow =
+          go + (static_cast<std::ptrdiff_t>(b) * d.co + c) * d.how;
+      float* __restrict dplane =
+          din + (static_cast<std::ptrdiff_t>(b) * d.ci + c) * hw;
+      for (int iy = 0; iy < d.h; ++iy) {
+        for (int ix = 0; ix < d.w; ++ix) {
+          double acc = 0.0;
+          for (int ky = 0; ky < d.k; ++ky) {
+            const int oy_num = iy + spec.padding - ky;
+            if (oy_num < 0 || oy_num % spec.stride != 0) continue;
+            const int oy = oy_num / spec.stride;
+            if (oy >= d.ho) continue;
+            for (int kx = 0; kx < d.k; ++kx) {
+              const int ox_num = ix + spec.padding - kx;
+              if (ox_num < 0 || ox_num % spec.stride != 0) continue;
+              const int ox = ox_num / spec.stride;
+              if (ox >= d.wo) continue;
+              acc += static_cast<double>(wrow[ky * d.k + kx]) *
+                     gorow[static_cast<std::ptrdiff_t>(oy) * d.wo + ox];
+            }
+          }
+          dplane[static_cast<std::ptrdiff_t>(iy) * d.w + ix] =
+              static_cast<float>(acc);
+        }
+      }
+    }
+  });
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul a");
-  check_rank2(b, "matmul b");
+  detail::check_rank2(a, "matmul a");
+  detail::check_rank2(b, "matmul b");
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dim mismatch");
   Tensor c({m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  for (int i = 0; i < m; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + static_cast<std::ptrdiff_t>(kk) * n;
-      float* crow = pc + static_cast<std::ptrdiff_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm_blocked(a.data().data(), k, b.data().data(), n, BLayout::kRowMajorKN,
+               m, n, k, nullptr, c.data().data(), n);
   return c;
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul_tn a");
-  check_rank2(b, "matmul_tn b");
+  detail::check_rank2(a, "matmul_tn a");
+  detail::check_rank2(b, "matmul_tn b");
   const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k) throw std::invalid_argument("matmul_tn: inner dim mismatch");
   Tensor c({m, n});
+  // Pack A^T once into contiguous rows (caller arena, shared read-only by
+  // the GEMM tasks); the pack cost is one column of compute.
   const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
+  const auto at = ScratchArena::local().floats(
+      ScratchArena::kPackA, static_cast<std::size_t>(m) * k);
   for (int kk = 0; kk < k; ++kk) {
-    const float* arow = pa + static_cast<std::ptrdiff_t>(kk) * m;
-    const float* brow = pb + static_cast<std::ptrdiff_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + static_cast<std::ptrdiff_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
+    const float* __restrict src = pa + static_cast<std::ptrdiff_t>(kk) * m;
+    for (int i = 0; i < m; ++i)
+      at[static_cast<std::size_t>(i) * k + kk] = src[i];
   }
+  gemm_blocked(at.data(), k, b.data().data(), n, BLayout::kRowMajorKN, m, n,
+               k, nullptr, c.data().data(), n);
   return c;
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  check_rank2(a, "matmul_nt a");
-  check_rank2(b, "matmul_nt b");
+  detail::check_rank2(a, "matmul_nt a");
+  detail::check_rank2(b, "matmul_nt b");
   const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
   if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner dim mismatch");
   Tensor c({m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<std::ptrdiff_t>(i) * k;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = pb + static_cast<std::ptrdiff_t>(j) * k;
-      double s = 0.0;
-      for (int kk = 0; kk < k; ++kk) s += static_cast<double>(arow[kk]) * brow[kk];
-      pc[i * n + j] = static_cast<float>(s);
-    }
-  }
+  gemm_blocked(a.data().data(), k, b.data().data(), k, BLayout::kRowMajorNK,
+               m, n, k, nullptr, c.data().data(), n);
   return c;
 }
 
@@ -83,89 +465,177 @@ int conv_out_size(int in, int kernel, int stride, int padding) {
 
 Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               const Conv2dSpec& spec) {
-  if (input.rank() != 4 || weight.rank() != 4)
-    throw std::invalid_argument("conv2d: expected rank-4 input and weight");
-  const int n = input.dim(0), ci = input.dim(1), h = input.dim(2), w = input.dim(3);
-  const int co = weight.dim(0), cig = weight.dim(1), k = weight.dim(2);
-  if (weight.dim(3) != k) throw std::invalid_argument("conv2d: non-square kernel");
-  const int groups = spec.groups;
-  if (ci % groups != 0 || co % groups != 0 || ci / groups != cig)
-    throw std::invalid_argument("conv2d: group/channel mismatch");
-  const bool has_bias = !bias.empty();
-  if (has_bias && bias.numel() != co)
-    throw std::invalid_argument("conv2d: bias size mismatch");
-  const int ho = conv_out_size(h, k, spec.stride, spec.padding);
-  const int wo = conv_out_size(w, k, spec.stride, spec.padding);
-  if (ho <= 0 || wo <= 0) throw std::invalid_argument("conv2d: empty output");
+  const ConvDims d = detail::check_conv_args(input, weight, bias, spec);
+  Tensor out({d.n, d.co, d.ho, d.wo});
+  const float* in = input.data().data();
+  const float* wgt = weight.data().data();
+  const float* bs = d.has_bias ? bias.data().data() : nullptr;
+  float* o = out.data().data();
 
-  Tensor out({n, co, ho, wo});
-  const int co_per_g = co / groups;
-  for (int b = 0; b < n; ++b) {
-    for (int oc = 0; oc < co; ++oc) {
-      const int g = oc / co_per_g;
-      for (int oy = 0; oy < ho; ++oy) {
-        for (int ox = 0; ox < wo; ++ox) {
-          double acc = has_bias ? bias.at(oc) : 0.0;
-          for (int icg = 0; icg < cig; ++icg) {
-            const int ic = g * cig + icg;
-            for (int ky = 0; ky < k; ++ky) {
-              const int iy = oy * spec.stride + ky - spec.padding;
-              if (iy < 0 || iy >= h) continue;
-              for (int kx = 0; kx < k; ++kx) {
-                const int ix = ox * spec.stride + kx - spec.padding;
-                if (ix < 0 || ix >= w) continue;
-                acc += static_cast<double>(input(b, ic, iy, ix)) *
-                       weight(oc, icg, ky, kx);
-              }
-            }
-          }
-          out(b, oc, oy, ox) = static_cast<float>(acc);
-        }
-      }
-    }
+  if (is_depthwise(d)) {
+    depthwise_forward(in, wgt, bs, d, spec, o);
+    return out;
   }
+
+  const ColMatrix col = build_col_matrix(in, d, spec);
+  note_gemm_flops(static_cast<std::int64_t>(d.n) * d.groups * d.co_per_g *
+                  d.how * d.kk);
+  const int jblocks = (d.how + kJBlock - 1) / kJBlock;
+  const std::size_t tasks =
+      static_cast<std::size_t>(d.n) * d.groups * jblocks;
+  const bool parallel =
+      tasks > 1 && static_cast<std::int64_t>(d.n) * d.groups * d.co_per_g *
+                           d.how * d.kk >=
+                       kParallelMinMacc;
+  util::parallel_for_if(parallel, tasks, [&](std::size_t t) {
+    const int jb = static_cast<int>(t % jblocks);
+    const std::size_t bg = t / jblocks;
+    const int g = static_cast<int>(bg) % d.groups;
+    const int b = static_cast<int>(bg) / d.groups;
+    const int jbegin = jb * kJBlock;
+    const int jend = std::min(d.how, jbegin + kJBlock);
+    // Weight rows of group g are contiguous [co_per_g][kk]; C rows are the
+    // output channel planes of (b, g).
+    gemm_columns(wgt + static_cast<std::ptrdiff_t>(g) * d.co_per_g * d.kk,
+                 d.kk, col.slice(b, g, d.groups), d.how,
+                 BLayout::kRowMajorKN, d.co_per_g, d.kk,
+                 bs ? bs + static_cast<std::ptrdiff_t>(g) * d.co_per_g
+                    : nullptr,
+                 o + (static_cast<std::ptrdiff_t>(b) * d.co +
+                      g * d.co_per_g) *
+                         d.how,
+                 d.how, jbegin, jend);
+  });
   return out;
 }
 
 Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
                             bool has_bias, const Tensor& grad_out,
                             const Conv2dSpec& spec) {
-  const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
-  const int co = weight.dim(0), cig = weight.dim(1), k = weight.dim(2);
-  const int groups = spec.groups;
-  const int co_per_g = co / groups;
-  const int ho = grad_out.dim(2), wo = grad_out.dim(3);
+  const ConvDims d = detail::check_conv_args(
+      input, weight, has_bias ? Tensor({weight.dim(0)}) : Tensor(), spec);
+  if (grad_out.rank() != 4 || grad_out.dim(0) != d.n ||
+      grad_out.dim(1) != d.co || grad_out.dim(2) != d.ho ||
+      grad_out.dim(3) != d.wo)
+    throw std::invalid_argument("conv2d_backward: grad_out shape mismatch");
 
   Conv2dGrads grads;
   grads.input = Tensor(input.shape());
   grads.weight = Tensor(weight.shape());
-  if (has_bias) grads.bias = Tensor({co});
+  if (has_bias) grads.bias = Tensor({d.co});
 
-  for (int b = 0; b < n; ++b) {
-    for (int oc = 0; oc < co; ++oc) {
-      const int g = oc / co_per_g;
-      for (int oy = 0; oy < ho; ++oy) {
-        for (int ox = 0; ox < wo; ++ox) {
-          const float go = grad_out(b, oc, oy, ox);
-          if (go == 0.0f) continue;
-          if (has_bias) grads.bias.at(oc) += go;
-          for (int icg = 0; icg < cig; ++icg) {
-            const int ic = g * cig + icg;
-            for (int ky = 0; ky < k; ++ky) {
-              const int iy = oy * spec.stride + ky - spec.padding;
-              if (iy < 0 || iy >= h) continue;
-              for (int kx = 0; kx < k; ++kx) {
-                const int ix = ox * spec.stride + kx - spec.padding;
-                if (ix < 0 || ix >= w) continue;
-                grads.weight(oc, icg, ky, kx) += go * input(b, ic, iy, ix);
-                grads.input(b, ic, iy, ix) += go * weight(oc, icg, ky, kx);
-              }
+  const float* in = input.data().data();
+  const float* wgt = weight.data().data();
+  const float* go = grad_out.data().data();
+
+  if (is_depthwise(d)) {
+    depthwise_backward(in, wgt, go, d, spec, has_bias, grads);
+    return grads;
+  }
+
+  const ColMatrix col = build_col_matrix(in, d, spec);
+  const int hw = d.h * d.w;
+
+  // dbias + dweight: one task per output channel. dW row oc is kk dots of
+  // grad_out row (b, oc) against col rows, batch-major — the (b, j) operand
+  // order of the reference.
+  float* dw = grads.weight.data().data();
+  float* dbias = has_bias ? grads.bias.data().data() : nullptr;
+  note_gemm_flops(static_cast<std::int64_t>(d.n) * d.co * d.kk * d.how);
+  const bool parallel_w =
+      d.co > 1 && static_cast<std::int64_t>(d.n) * d.co * d.kk * d.how >=
+                      kParallelMinMacc;
+  util::parallel_for_if(parallel_w, static_cast<std::size_t>(d.co),
+                        [&](std::size_t oct) {
+    const int oc = static_cast<int>(oct);
+    const int g = oc / d.co_per_g;
+    if (dbias) {
+      double acc = 0.0;
+      for (int b = 0; b < d.n; ++b) {
+        const float* __restrict gorow =
+            go + (static_cast<std::ptrdiff_t>(b) * d.co + oc) * d.how;
+        for (int j = 0; j < d.how; ++j) acc += gorow[j];
+      }
+      dbias[oc] = static_cast<float>(acc);
+    }
+    float* __restrict dwrow = dw + static_cast<std::ptrdiff_t>(oc) * d.kk;
+    for (int kk = 0; kk < d.kk; ++kk) {
+      double acc = 0.0;
+      for (int b = 0; b < d.n; ++b) {
+        const float* __restrict gorow =
+            go + (static_cast<std::ptrdiff_t>(b) * d.co + oc) * d.how;
+        const float* __restrict colrow =
+            col.slice(b, g, d.groups) +
+            static_cast<std::ptrdiff_t>(kk) * d.how;
+        for (int j = 0; j < d.how; ++j)
+          acc += static_cast<double>(gorow[j]) * colrow[j];
+      }
+      dwrow[kk] = static_cast<float>(acc);
+    }
+  });
+
+  // dinput: per (b, g) task — dcol = W_g^T x grad_out in double precision
+  // (operand order: group output channels ascending per dcol element), then
+  // a col2im gather where each input element owns one accumulator summing
+  // its (ky, kx) taps ascending.
+  float* din = grads.input.data().data();
+  note_gemm_flops(static_cast<std::int64_t>(d.n) * d.groups * d.co_per_g *
+                  d.kk * d.how);
+  const std::size_t bg_tasks = static_cast<std::size_t>(d.n) * d.groups;
+  const bool parallel_i =
+      bg_tasks > 1 && static_cast<std::int64_t>(d.n) * d.groups *
+                              d.co_per_g * d.kk * d.how >=
+                          kParallelMinMacc;
+  util::parallel_for_if(parallel_i, bg_tasks, [&](std::size_t t) {
+    const int g = static_cast<int>(t) % d.groups;
+    const int b = static_cast<int>(t) / d.groups;
+    ScratchArena& arena = ScratchArena::local();
+    const auto dcol = arena.doubles(
+        ScratchArena::kColGrad,
+        static_cast<std::size_t>(d.kk) * static_cast<std::size_t>(d.how));
+    std::fill(dcol.begin(), dcol.end(), 0.0);
+    for (int ocg = 0; ocg < d.co_per_g; ++ocg) {
+      const int oc = g * d.co_per_g + ocg;
+      const float* __restrict wrow =
+          wgt + static_cast<std::ptrdiff_t>(oc) * d.kk;
+      const float* __restrict gorow =
+          go + (static_cast<std::ptrdiff_t>(b) * d.co + oc) * d.how;
+      for (int kk = 0; kk < d.kk; ++kk) {
+        const double av = wrow[kk];
+        double* __restrict drow =
+            dcol.data() + static_cast<std::ptrdiff_t>(kk) * d.how;
+        for (int j = 0; j < d.how; ++j) drow[j] += av * gorow[j];
+      }
+    }
+    for (int icg = 0; icg < d.cig; ++icg) {
+      const int ic = g * d.cig + icg;
+      float* __restrict dplane =
+          din + (static_cast<std::ptrdiff_t>(b) * d.ci + ic) * hw;
+      for (int iy = 0; iy < d.h; ++iy) {
+        for (int ix = 0; ix < d.w; ++ix) {
+          double acc = 0.0;
+          for (int ky = 0; ky < d.k; ++ky) {
+            const int oy_num = iy + spec.padding - ky;
+            if (oy_num < 0 || oy_num % spec.stride != 0) continue;
+            const int oy = oy_num / spec.stride;
+            if (oy >= d.ho) continue;
+            for (int kx = 0; kx < d.k; ++kx) {
+              const int ox_num = ix + spec.padding - kx;
+              if (ox_num < 0 || ox_num % spec.stride != 0) continue;
+              const int ox = ox_num / spec.stride;
+              if (ox >= d.wo) continue;
+              acc += dcol[(static_cast<std::size_t>(icg) * d.k * d.k +
+                           static_cast<std::size_t>(ky) * d.k + kx) *
+                              d.how +
+                          static_cast<std::size_t>(oy) * d.wo + ox];
             }
           }
+          dplane[static_cast<std::ptrdiff_t>(iy) * d.w + ix] =
+              static_cast<float>(acc);
         }
       }
     }
-  }
+  });
   return grads;
 }
 

@@ -1,8 +1,31 @@
 // Dense tensor kernels: matrix multiplication, 2-D (grouped) convolution with
-// full backward passes, pooling, and softmax. All kernels are straightforward
-// loop nests — the models in this repo are CIFAR-scale, and the paper's
-// latency numbers come from the analytic model in src/latency, not from wall
-// clock of these kernels.
+// full backward passes, pooling, and softmax.
+//
+// The matmul family and conv2d/conv2d_backward are cache-blocked and
+// thread-parallel: they route through one register-blocked GEMM micro-kernel
+// (contiguous packed B-panels, `__restrict` pointers), convolutions lower to
+// im2col/col2im around that kernel — with a pure-GEMM fast path for 1x1
+// pointwise convs (no im2col copy) and a direct per-channel loop for
+// depthwise convs — and scratch memory comes from the per-thread
+// tensor::ScratchArena so repeated calls reuse buffers. Work is spread over
+// util::parallel_for.
+//
+// Accumulation-precision policy (applies to every kernel in this header):
+// each output element is one double-precision accumulator, summed in a
+// fixed, documented operand order and rounded to float exactly once at the
+// end. For matmul/matmul_tn/matmul_nt that order is k ascending; for conv2d
+// it is (in-group channel, ky, kx) ascending with zero-padded taps included
+// as explicit +0.0 terms and the bias as the accumulator's initial value;
+// for the backward kernels see ops_reference.cpp, whose naive loops *define*
+// the operand order. Because the order is per-element and never split across
+// tasks, results are bit-identical to the reference kernels, identical for
+// any thread count, and identical across the fast paths (the parity suite
+// `ctest -L kernel` asserts all three).
+//
+// The paper's latency numbers still come from the analytic model in
+// src/latency, not from wall clock of these kernels — but these kernels are
+// the real-compute floor of distillation-training candidate models and of
+// executing edge slices, which is why they are blocked and parallel.
 #pragma once
 
 #include "tensor/tensor.h"
@@ -60,5 +83,22 @@ Tensor global_avgpool_backward(const Tensor& input, const Tensor& grad_out);
 
 /// Row-wise softmax of a [N,D] tensor (numerically stable).
 Tensor softmax_rows(const Tensor& logits);
+
+/// Naive single-threaded loop-nest kernels implementing the same
+/// element-wise accumulation spec as the blocked kernels above. They are the
+/// executable definition of the determinism contract: the `ctest -L kernel`
+/// parity suite asserts the blocked kernels are bit-identical to these for
+/// randomized shapes, and they serve as the committed-baseline workload of
+/// the kernel perf benches.
+namespace reference {
+Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              const Conv2dSpec& spec);
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            bool has_bias, const Tensor& grad_out,
+                            const Conv2dSpec& spec);
+}  // namespace reference
 
 }  // namespace cadmc::tensor

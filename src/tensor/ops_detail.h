@@ -1,0 +1,56 @@
+// Internal helpers shared by the blocked kernels (ops.cpp) and the naive
+// reference kernels (ops_reference.cpp): argument validation and the derived
+// convolution geometry. Not part of the public ops.h surface.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "tensor/ops.h"
+
+namespace cadmc::tensor::detail {
+
+inline void check_rank2(const Tensor& t, const char* name) {
+  if (t.rank() != 2)
+    throw std::invalid_argument(std::string(name) + ": expected rank-2 tensor");
+}
+
+/// Derived convolution geometry, validated once per call.
+struct ConvDims {
+  int n, ci, h, w;       // input [N,Ci,H,W]
+  int co, cig, k;        // weight [Co,Ci/groups,K,K]
+  int groups, co_per_g;
+  int ho, wo, how;       // output spatial dims, how = ho*wo
+  int kk;                // GEMM depth per group: cig*k*k
+  bool has_bias;
+};
+
+inline ConvDims check_conv_args(const Tensor& input, const Tensor& weight,
+                                const Tensor& bias, const Conv2dSpec& spec) {
+  if (input.rank() != 4 || weight.rank() != 4)
+    throw std::invalid_argument("conv2d: expected rank-4 input and weight");
+  ConvDims d;
+  d.n = input.dim(0);
+  d.ci = input.dim(1);
+  d.h = input.dim(2);
+  d.w = input.dim(3);
+  d.co = weight.dim(0);
+  d.cig = weight.dim(1);
+  d.k = weight.dim(2);
+  if (weight.dim(3) != d.k) throw std::invalid_argument("conv2d: non-square kernel");
+  d.groups = spec.groups;
+  if (d.ci % d.groups != 0 || d.co % d.groups != 0 || d.ci / d.groups != d.cig)
+    throw std::invalid_argument("conv2d: group/channel mismatch");
+  d.co_per_g = d.co / d.groups;
+  d.has_bias = !bias.empty();
+  if (d.has_bias && bias.numel() != d.co)
+    throw std::invalid_argument("conv2d: bias size mismatch");
+  d.ho = conv_out_size(d.h, d.k, spec.stride, spec.padding);
+  d.wo = conv_out_size(d.w, d.k, spec.stride, spec.padding);
+  if (d.ho <= 0 || d.wo <= 0) throw std::invalid_argument("conv2d: empty output");
+  d.how = d.ho * d.wo;
+  d.kk = d.cig * d.k * d.k;
+  return d;
+}
+
+}  // namespace cadmc::tensor::detail

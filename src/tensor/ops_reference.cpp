@@ -1,0 +1,193 @@
+// Naive reference kernels. These loop nests are the executable spec of the
+// accumulation contract in ops.h: one double accumulator per output element,
+// a fixed operand order, one final rounding to float. The blocked kernels in
+// ops.cpp must stay bit-identical to these — tests/kernel_test.cpp
+// (`ctest -L kernel`) fuzzes shapes/strides/padding/groups against them.
+//
+// Operand orders (per output element):
+//   matmul family     k ascending.
+//   conv2d forward    bias as initial value, then (icg, ky, kx) ascending;
+//                     zero-padded taps contribute explicit +0.0 terms.
+//   conv2d backward   dbias[oc]:   (b, oy, ox) ascending over grad_out.
+//                     dweight:     (b, oy, ox) ascending; padded taps again
+//                                  contribute 0.0 terms.
+//                     dinput:      (ky, kx) ascending; each valid tap adds a
+//                                  double subtotal over the group's output
+//                                  channels (oc ascending) — the subtotal
+//                                  mirrors the blocked path's dcol element,
+//                                  which is also held in double.
+#include "tensor/ops.h"
+#include "tensor/ops_detail.h"
+
+namespace cadmc::tensor::reference {
+
+using detail::ConvDims;
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  detail::check_rank2(a, "matmul a");
+  detail::check_rank2(b, "matmul b");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(pa[i * k + kk]) * pb[kk * n + j];
+      pc[static_cast<std::ptrdiff_t>(i) * n + j] = static_cast<float>(acc);
+    }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  detail::check_rank2(a, "matmul_tn a");
+  detail::check_rank2(b, "matmul_tn b");
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul_tn: inner dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(pa[kk * m + i]) * pb[kk * n + j];
+      pc[static_cast<std::ptrdiff_t>(i) * n + j] = static_cast<float>(acc);
+    }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  detail::check_rank2(a, "matmul_nt a");
+  detail::check_rank2(b, "matmul_nt b");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(pa[i * k + kk]) * pb[j * k + kk];
+      pc[static_cast<std::ptrdiff_t>(i) * n + j] = static_cast<float>(acc);
+    }
+  return c;
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              const Conv2dSpec& spec) {
+  const ConvDims d = detail::check_conv_args(input, weight, bias, spec);
+  Tensor out({d.n, d.co, d.ho, d.wo});
+  for (int b = 0; b < d.n; ++b) {
+    for (int oc = 0; oc < d.co; ++oc) {
+      const int g = oc / d.co_per_g;
+      for (int oy = 0; oy < d.ho; ++oy) {
+        for (int ox = 0; ox < d.wo; ++ox) {
+          double acc = d.has_bias ? bias.at(oc) : 0.0;
+          for (int icg = 0; icg < d.cig; ++icg) {
+            const int ic = g * d.cig + icg;
+            for (int ky = 0; ky < d.k; ++ky) {
+              const int iy = oy * spec.stride + ky - spec.padding;
+              for (int kx = 0; kx < d.k; ++kx) {
+                const int ix = ox * spec.stride + kx - spec.padding;
+                const float v = (iy >= 0 && iy < d.h && ix >= 0 && ix < d.w)
+                                    ? input(b, ic, iy, ix)
+                                    : 0.0f;
+                acc += static_cast<double>(v) * weight(oc, icg, ky, kx);
+              }
+            }
+          }
+          out(b, oc, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            bool has_bias, const Tensor& grad_out,
+                            const Conv2dSpec& spec) {
+  const ConvDims d =
+      detail::check_conv_args(input, weight, has_bias ? Tensor({weight.dim(0)})
+                                                      : Tensor(), spec);
+  Conv2dGrads grads;
+  grads.input = Tensor(input.shape());
+  grads.weight = Tensor(weight.shape());
+  if (has_bias) grads.bias = Tensor({d.co});
+
+  // dbias[oc] = sum over (b, oy, ox) of grad_out.
+  if (has_bias) {
+    for (int oc = 0; oc < d.co; ++oc) {
+      double acc = 0.0;
+      for (int b = 0; b < d.n; ++b)
+        for (int oy = 0; oy < d.ho; ++oy)
+          for (int ox = 0; ox < d.wo; ++ox) acc += grad_out(b, oc, oy, ox);
+      grads.bias.at(oc) = static_cast<float>(acc);
+    }
+  }
+
+  // dweight[oc,icg,ky,kx] = sum over (b, oy, ox) of go * padded input tap.
+  for (int oc = 0; oc < d.co; ++oc) {
+    const int g = oc / d.co_per_g;
+    for (int icg = 0; icg < d.cig; ++icg) {
+      const int ic = g * d.cig + icg;
+      for (int ky = 0; ky < d.k; ++ky)
+        for (int kx = 0; kx < d.k; ++kx) {
+          double acc = 0.0;
+          for (int b = 0; b < d.n; ++b)
+            for (int oy = 0; oy < d.ho; ++oy)
+              for (int ox = 0; ox < d.wo; ++ox) {
+                const int iy = oy * spec.stride + ky - spec.padding;
+                const int ix = ox * spec.stride + kx - spec.padding;
+                const float v = (iy >= 0 && iy < d.h && ix >= 0 && ix < d.w)
+                                    ? input(b, ic, iy, ix)
+                                    : 0.0f;
+                acc += static_cast<double>(grad_out(b, oc, oy, ox)) * v;
+              }
+          grads.weight(oc, icg, ky, kx) = static_cast<float>(acc);
+        }
+    }
+  }
+
+  // dinput[b,ic,iy,ix] = sum over (ky, kx) of the group-channel subtotal.
+  for (int b = 0; b < d.n; ++b) {
+    for (int ic = 0; ic < d.ci; ++ic) {
+      const int g = ic / d.cig;
+      const int icg = ic % d.cig;
+      for (int iy = 0; iy < d.h; ++iy)
+        for (int ix = 0; ix < d.w; ++ix) {
+          double acc = 0.0;
+          for (int ky = 0; ky < d.k; ++ky) {
+            const int oy_num = iy + spec.padding - ky;
+            if (oy_num < 0 || oy_num % spec.stride != 0) continue;
+            const int oy = oy_num / spec.stride;
+            if (oy >= d.ho) continue;
+            for (int kx = 0; kx < d.k; ++kx) {
+              const int ox_num = ix + spec.padding - kx;
+              if (ox_num < 0 || ox_num % spec.stride != 0) continue;
+              const int ox = ox_num / spec.stride;
+              if (ox >= d.wo) continue;
+              double sub = 0.0;
+              for (int ocg = 0; ocg < d.co_per_g; ++ocg) {
+                const int oc = g * d.co_per_g + ocg;
+                sub += static_cast<double>(weight(oc, icg, ky, kx)) *
+                       grad_out(b, oc, oy, ox);
+              }
+              acc += sub;
+            }
+          }
+          grads.input(b, ic, iy, ix) = static_cast<float>(acc);
+        }
+    }
+  }
+  return grads;
+}
+
+}  // namespace cadmc::tensor::reference

@@ -1,0 +1,55 @@
+#include "tensor/scratch.h"
+
+#include "obs/metrics.h"
+
+namespace cadmc::tensor {
+
+ScratchArena& ScratchArena::local() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+template <typename T>
+std::span<T> ScratchArena::grab(std::vector<T>& buf, std::size_t n) {
+  if (obs::enabled()) {  // pre-check: skips the metric-name std::string too
+    if (buf.capacity() >= n) {
+      obs::count("cadmc.kernel.arena.reuse_hits");
+    } else {
+      obs::count("cadmc.kernel.arena.grows");
+      obs::count("cadmc.kernel.arena.grow_bytes",
+                 static_cast<std::int64_t>((n - buf.capacity()) * sizeof(T)));
+    }
+  }
+  // resize (not assign): contents are documented as unspecified, so the
+  // existing prefix need not be cleared — reuse stays O(1).
+  if (buf.size() < n) buf.resize(n);
+  return std::span<T>(buf.data(), n);
+}
+
+std::span<float> ScratchArena::floats(Slot slot, std::size_t n) {
+  return grab(float_slots_[slot], n);
+}
+
+std::span<double> ScratchArena::doubles(Slot slot, std::size_t n) {
+  return grab(double_slots_[slot], n);
+}
+
+std::size_t ScratchArena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (int s = 0; s < kSlotCount; ++s) {
+    total += float_slots_[s].capacity() * sizeof(float);
+    total += double_slots_[s].capacity() * sizeof(double);
+  }
+  return total;
+}
+
+void ScratchArena::release() {
+  // `buf = {}` would pick the initializer_list assignment, which keeps
+  // capacity; swapping with a fresh vector actually drops the storage.
+  for (int s = 0; s < kSlotCount; ++s) {
+    std::vector<float>().swap(float_slots_[s]);
+    std::vector<double>().swap(double_slots_[s]);
+  }
+}
+
+}  // namespace cadmc::tensor

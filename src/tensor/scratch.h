@@ -1,0 +1,69 @@
+// Per-thread scratch memory for kernel temporaries: im2col matrices, packed
+// GEMM panels, and the double-precision column-gradient buffer of the conv
+// backward pass. Buffers are grow-only and slot-based, so a kernel can hold
+// several live scratch spans at once (each slot is backed by its own
+// allocation — requesting one slot never invalidates a span taken from
+// another) and repeated kernel calls reuse the high-water-mark allocation
+// instead of paying a fresh heap round-trip per forward/backward.
+//
+// Lifetime rules:
+//  * ScratchArena::local() returns this thread's arena; spans taken from it
+//    are valid until the same (slot, type) pair is requested again on the
+//    same thread, and must never be handed to another thread for writing.
+//  * Kernels that share a scratch buffer across util::parallel_for tasks
+//    (e.g. the im2col matrix read by every GEMM task) allocate it from the
+//    *calling* thread's arena before the fan-out, and workers only read it.
+//  * Worker-private temporaries (packed panels, dcol) come from the worker's
+//    own thread-local arena inside the task body.
+//
+// Observability: cadmc.kernel.arena.reuse_hits counts requests served from
+// existing capacity, cadmc.kernel.arena.grows / grow_bytes count the
+// (amortised-away) allocations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cadmc::tensor {
+
+class ScratchArena {
+ public:
+  /// One id per concurrently-live buffer a kernel needs.
+  enum Slot {
+    kIm2col = 0,  // im2col matrix shared across GEMM tasks (caller thread)
+    kPanel,       // packed B-panel of the GEMM micro-kernel (worker thread)
+    kPackA,       // packed/transposed A operand (matmul_tn)
+    kColGrad,     // double-precision dcol buffer in conv2d_backward
+    kSlotCount
+  };
+
+  /// This thread's arena (thread_local, created on first use).
+  static ScratchArena& local();
+
+  /// A span of `n` floats backed by `slot`. Contents are unspecified — the
+  /// caller must fully overwrite whatever it reads back.
+  std::span<float> floats(Slot slot, std::size_t n);
+  /// A span of `n` doubles backed by `slot`.
+  std::span<double> doubles(Slot slot, std::size_t n);
+
+  /// Total bytes currently retained across every slot of *this* arena.
+  std::size_t capacity_bytes() const;
+
+  /// Drops all backing storage (tests use this to reset the reuse metrics'
+  /// denominator; kernels never call it).
+  void release();
+
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+ private:
+  template <typename T>
+  std::span<T> grab(std::vector<T>& buf, std::size_t n);
+
+  std::vector<float> float_slots_[kSlotCount];
+  std::vector<double> double_slots_[kSlotCount];
+};
+
+}  // namespace cadmc::tensor

@@ -146,4 +146,13 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (state->error) std::rethrow_exception(state->error);
 }
 
+void parallel_for_if(bool parallel, std::size_t n,
+                     const std::function<void(std::size_t)>& fn) {
+  if (parallel) {
+    parallel_for(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
 }  // namespace cadmc::util

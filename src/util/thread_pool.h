@@ -72,4 +72,11 @@ ThreadPool& global_pool();
 /// on the caller after the loop drains.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+/// parallel_for when `parallel` is true, a plain serial loop otherwise — for
+/// callers (e.g. the tensor kernels) that gate pool dispatch on a work-size
+/// threshold. The serial branch touches no pool machinery at all, so tiny
+/// operations stay allocation- and lock-free.
+void parallel_for_if(bool parallel, std::size_t n,
+                     const std::function<void(std::size_t)>& fn);
+
 }  // namespace cadmc::util

@@ -1,0 +1,232 @@
+// Parity suite for the blocked compute kernels (`ctest -L kernel`).
+//
+// The naive loop nests in tensor::reference are the executable spec of the
+// accumulation contract (ops.h): one double accumulator per output element,
+// fixed operand order, one rounding to float. These tests assert the blocked
+// kernels are *bit-identical* to that spec across randomized shapes, strides,
+// padding, groups, the 1x1-pointwise and depthwise fast paths — and that
+// results do not change with the configured thread count. CI additionally
+// runs this binary under ASan/UBSan and TSan.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "tensor/ops.h"
+#include "tensor/scratch.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cadmc::tensor {
+namespace {
+
+// Bitwise comparison: EXPECT_EQ on floats would treat -0.0f == 0.0f and
+// NaN != NaN; the contract is stronger than numeric equality.
+void expect_bit_identical(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  const int bad = [&] {
+    int count = 0;
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      const float fa = a.at(i), fb = b.at(i);
+      std::uint32_t ba, bb;
+      std::memcpy(&ba, &fa, 4);
+      std::memcpy(&bb, &fb, 4);
+      if (ba != bb) ++count;
+    }
+    return count;
+  }();
+  EXPECT_EQ(bad, 0) << what << ": " << bad << "/" << a.numel()
+                    << " elements differ bitwise";
+}
+
+struct ThreadGuard {
+  std::size_t saved = util::configured_threads();
+  ~ThreadGuard() { util::set_configured_threads(saved); }
+};
+
+TEST(KernelParity, MatmulFamilyRandomized) {
+  util::Rng rng(0xA11CE);
+  // Shapes straddle the packing (m >= 4) and parallel thresholds, plus
+  // ragged tails that don't divide the kNR/kJBlock blocking.
+  const int dims[][3] = {{1, 7, 5},   {3, 16, 64},  {4, 4, 4},
+                         {8, 33, 65}, {17, 40, 129}, {64, 64, 64},
+                         {5, 1, 9},   {96, 31, 257}};
+  for (const auto& d : dims) {
+    const int m = d[0], k = d[1], n = d[2];
+    const Tensor a = Tensor::randn({m, k}, rng);
+    const Tensor b = Tensor::randn({k, n}, rng);
+    const Tensor at = Tensor::randn({k, m}, rng);
+    const Tensor bt = Tensor::randn({n, k}, rng);
+    expect_bit_identical(matmul(a, b), reference::matmul(a, b), "matmul");
+    expect_bit_identical(matmul_tn(at, b), reference::matmul_tn(at, b),
+                         "matmul_tn");
+    expect_bit_identical(matmul_nt(a, bt), reference::matmul_nt(a, bt),
+                         "matmul_nt");
+  }
+}
+
+struct ConvCase {
+  int n, ci, h, w, co, k, stride, padding, groups;
+  bool bias;
+};
+
+// Stride/padding/group sweep including both fast paths: 1x1 pointwise
+// (k=1, s=1, p=0) and depthwise (groups == ci == co).
+const ConvCase kConvCases[] = {
+    {2, 3, 9, 9, 4, 3, 1, 1, 1, true},    // vanilla 3x3 pad-1
+    {1, 4, 8, 8, 6, 3, 2, 1, 1, true},    // stride 2
+    {2, 4, 7, 7, 4, 3, 1, 0, 2, true},    // grouped
+    {1, 6, 6, 6, 6, 3, 1, 1, 6, true},    // depthwise
+    {2, 8, 5, 5, 8, 3, 2, 1, 8, false},   // depthwise, stride 2, no bias
+    {2, 5, 6, 6, 7, 1, 1, 0, 1, true},    // pointwise fast path
+    {1, 8, 10, 10, 4, 1, 1, 0, 4, true},  // pointwise + groups
+    {1, 3, 11, 11, 2, 5, 2, 2, 1, false}, // 5x5, stride 2, pad 2
+    {3, 2, 4, 4, 2, 3, 1, 2, 1, true},    // padding > needed
+    {1, 16, 16, 16, 24, 3, 1, 1, 1, true},// big enough to parallelize
+};
+
+TEST(KernelParity, Conv2dForwardRandomized) {
+  util::Rng rng(0xC0DE);
+  for (const auto& c : kConvCases) {
+    const Tensor input = Tensor::randn({c.n, c.ci, c.h, c.w}, rng);
+    const Tensor weight =
+        Tensor::randn({c.co, c.ci / c.groups, c.k, c.k}, rng);
+    const Tensor bias = c.bias ? Tensor::randn({c.co}, rng) : Tensor();
+    const Conv2dSpec spec{c.stride, c.padding, c.groups};
+    expect_bit_identical(conv2d(input, weight, bias, spec),
+                         reference::conv2d(input, weight, bias, spec),
+                         "conv2d");
+  }
+}
+
+TEST(KernelParity, Conv2dBackwardRandomized) {
+  util::Rng rng(0xBACD);
+  for (const auto& c : kConvCases) {
+    const Tensor input = Tensor::randn({c.n, c.ci, c.h, c.w}, rng);
+    const Tensor weight =
+        Tensor::randn({c.co, c.ci / c.groups, c.k, c.k}, rng);
+    const Conv2dSpec spec{c.stride, c.padding, c.groups};
+    const int ho = conv_out_size(c.h, c.k, c.stride, c.padding);
+    const int wo = conv_out_size(c.w, c.k, c.stride, c.padding);
+    const Tensor grad_out = Tensor::randn({c.n, c.co, ho, wo}, rng);
+    const Conv2dGrads got =
+        conv2d_backward(input, weight, c.bias, grad_out, spec);
+    const Conv2dGrads want =
+        reference::conv2d_backward(input, weight, c.bias, grad_out, spec);
+    expect_bit_identical(got.input, want.input, "conv2d_backward input");
+    expect_bit_identical(got.weight, want.weight, "conv2d_backward weight");
+    if (c.bias)
+      expect_bit_identical(got.bias, want.bias, "conv2d_backward bias");
+  }
+}
+
+TEST(KernelDeterminism, ThreadCountInvariance) {
+  ThreadGuard guard;
+  util::Rng rng(0x7EAD);
+  const Tensor a = Tensor::randn({48, 70}, rng);
+  const Tensor b = Tensor::randn({70, 200}, rng);
+  const Tensor input = Tensor::randn({2, 8, 14, 14}, rng);
+  const Tensor weight = Tensor::randn({16, 8, 3, 3}, rng);
+  const Tensor bias = Tensor::randn({16}, rng);
+  const Conv2dSpec spec{1, 1, 1};
+  const Tensor grad_out = Tensor::randn({2, 16, 14, 14}, rng);
+
+  util::set_configured_threads(1);
+  const Tensor mm1 = matmul(a, b);
+  const Tensor conv1 = conv2d(input, weight, bias, spec);
+  const Conv2dGrads back1 = conv2d_backward(input, weight, true, grad_out, spec);
+
+  util::set_configured_threads(4);
+  const Tensor mm4 = matmul(a, b);
+  const Tensor conv4 = conv2d(input, weight, bias, spec);
+  const Conv2dGrads back4 = conv2d_backward(input, weight, true, grad_out, spec);
+
+  expect_bit_identical(mm1, mm4, "matmul threads 1 vs 4");
+  expect_bit_identical(conv1, conv4, "conv2d threads 1 vs 4");
+  expect_bit_identical(back1.input, back4.input, "dinput threads 1 vs 4");
+  expect_bit_identical(back1.weight, back4.weight, "dweight threads 1 vs 4");
+  expect_bit_identical(back1.bias, back4.bias, "dbias threads 1 vs 4");
+}
+
+TEST(KernelValidation, ShapeErrors) {
+  util::Rng rng(1);
+  const Tensor a = Tensor::randn({3, 4}, rng);
+  const Tensor b = Tensor::randn({5, 6}, rng);
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+  const Tensor input = Tensor::randn({1, 3, 8, 8}, rng);
+  const Tensor weight = Tensor::randn({4, 3, 3, 3}, rng);
+  const Tensor bad_grad = Tensor::randn({1, 4, 5, 5}, rng);  // wrong Ho/Wo
+  EXPECT_THROW(
+      conv2d_backward(input, weight, false, bad_grad, Conv2dSpec{1, 1, 1}),
+      std::invalid_argument);
+}
+
+TEST(ScratchArena, ReusesAcrossShapes) {
+  ScratchArena& arena = ScratchArena::local();
+  arena.release();
+  const auto big = arena.floats(ScratchArena::kIm2col, 4096);
+  ASSERT_GE(big.size(), 4096u);
+  const std::size_t cap = arena.capacity_bytes();
+  EXPECT_GT(cap, 0u);
+  // A smaller request for the same slot must reuse the buffer in place.
+  const auto small = arena.floats(ScratchArena::kIm2col, 128);
+  EXPECT_EQ(small.data(), big.data());
+  EXPECT_EQ(arena.capacity_bytes(), cap);
+  // Different slots and element types don't alias each other.
+  const auto other = arena.floats(ScratchArena::kPanel, 128);
+  EXPECT_NE(other.data(), small.data());
+  const auto dbl = arena.doubles(ScratchArena::kIm2col, 128);
+  EXPECT_NE(static_cast<const void*>(dbl.data()),
+            static_cast<const void*>(small.data()));
+  arena.release();
+  EXPECT_EQ(arena.capacity_bytes(), 0u);
+}
+
+TEST(ScratchArena, CountsReuseInMetrics) {
+  ScratchArena& arena = ScratchArena::local();
+  arena.release();
+  obs::MetricsRegistry::global().reset();
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  arena.floats(ScratchArena::kPanel, 512);   // grow
+  arena.floats(ScratchArena::kPanel, 256);   // reuse
+  arena.floats(ScratchArena::kPanel, 512);   // reuse
+  obs::set_enabled(was_enabled);
+  const auto counters = obs::MetricsRegistry::global().counter_values();
+  EXPECT_EQ(counters.at("cadmc.kernel.arena.grows"), 1);
+  EXPECT_GE(counters.at("cadmc.kernel.arena.grow_bytes"),
+            static_cast<std::int64_t>(512 * sizeof(float)));
+  EXPECT_EQ(counters.at("cadmc.kernel.arena.reuse_hits"), 2);
+  arena.release();
+}
+
+// Repeated conv calls over mixed shapes must stabilize the arena: after the
+// first pass over all shapes no further growth should occur.
+TEST(ScratchArena, ConvWorkloadStopsGrowing) {
+  util::Rng rng(0x5CAB);
+  std::vector<Tensor> inputs, weights;
+  for (const auto& c : kConvCases) {
+    inputs.push_back(Tensor::randn({c.n, c.ci, c.h, c.w}, rng));
+    weights.push_back(Tensor::randn({c.co, c.ci / c.groups, c.k, c.k}, rng));
+  }
+  auto run_all = [&] {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const auto& c = kConvCases[i];
+      conv2d(inputs[i], weights[i], Tensor(),
+             Conv2dSpec{c.stride, c.padding, c.groups});
+    }
+  };
+  ThreadGuard guard;
+  util::set_configured_threads(1);  // all scratch lands on this thread
+  ScratchArena::local().release();
+  run_all();
+  const std::size_t cap_after_first = ScratchArena::local().capacity_bytes();
+  run_all();
+  EXPECT_EQ(ScratchArena::local().capacity_bytes(), cap_after_first);
+}
+
+}  // namespace
+}  // namespace cadmc::tensor

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "nn/activation.h"
 #include "nn/batchnorm.h"
@@ -104,6 +105,32 @@ TEST(Conv2dLayer, GradientCheck) {
   util::Rng rng(5);
   Conv2d conv(2, 3, 3, 1, 1, rng);
   check_layer_gradients(conv, Tensor::randn({2, 2, 6, 6}, rng, 0.5f));
+}
+
+// Regression: backward() after forward(training=false) used to silently
+// differentiate against a stale (or empty) cached input; it must throw.
+TEST(Conv2dLayer, BackwardWithoutTrainingForwardThrows) {
+  util::Rng rng(41);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  const Tensor x = Tensor::randn({1, 2, 5, 5}, rng);
+  const Tensor grad = Tensor::randn({1, 3, 5, 5}, rng);
+  EXPECT_THROW(conv.backward(grad), std::logic_error);  // never ran forward
+  conv.forward(x, true);
+  EXPECT_NO_THROW(conv.backward(grad));
+  conv.forward(x, false);  // inference pass invalidates the cache
+  EXPECT_THROW(conv.backward(grad), std::logic_error);
+}
+
+TEST(LinearLayer, BackwardWithoutTrainingForwardThrows) {
+  util::Rng rng(42);
+  Linear fc(4, 3, rng);
+  const Tensor x = Tensor::randn({2, 4}, rng);
+  const Tensor grad = Tensor::randn({2, 3}, rng);
+  EXPECT_THROW(fc.backward(grad), std::logic_error);
+  fc.forward(x, true);
+  EXPECT_NO_THROW(fc.backward(grad));
+  fc.forward(x, false);
+  EXPECT_THROW(fc.backward(grad), std::logic_error);
 }
 
 TEST(Conv2dLayer, CloneIsIndependent) {
