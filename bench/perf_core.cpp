@@ -6,6 +6,7 @@
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <thread>
 
 #include "bench/common.h"
 #include "data/synth_cifar.h"
@@ -17,6 +18,7 @@
 #include "obs/span.h"
 #include "obs/trace_export.h"
 #include "runtime/decision_engine.h"
+#include "runtime/gateway.h"
 #include "runtime/transport.h"
 #include "tree/tree_search.h"
 #include "util/csv.h"
@@ -245,6 +247,41 @@ PerfStats bench_branch_search_step(const PerfSuiteConfig& config,
   return per_item(stats, kBatch, "us", 1.0);
 }
 
+PerfStats bench_serve_throughput(const PerfSuiteConfig& config) {
+  // Concurrent serving: one repetition = 8 sessions each pushing one call
+  // through a shared 4-worker gateway. The p50 tracks the multiplexed
+  // round-trip under contention — reactor, admission queue and worker
+  // handoff included — which is the path the serve suite guards.
+  constexpr int kSessions = 8;
+  runtime::GatewayConfig gc;
+  gc.worker_threads = 4;
+  runtime::Gateway gateway(
+      [](const runtime::GatewayRequest& request) { return request.payload; },
+      gc);
+  const std::uint16_t port = gateway.start();
+  std::vector<std::unique_ptr<runtime::TcpClient>> clients;
+  for (int s = 0; s < kSessions; ++s) {
+    clients.push_back(std::make_unique<runtime::TcpClient>());
+    runtime::TcpClientConfig cc;
+    cc.timeout_ms = 5000.0;
+    cc.session_id = static_cast<std::uint64_t>(s) + 1;
+    clients.back()->connect(port, cc);
+  }
+  runtime::Blob request(1024);
+  for (std::size_t i = 0; i < request.size(); ++i)
+    request[i] = static_cast<std::uint8_t>(i * 31);
+  PerfStats stats =
+      measure("serve_throughput", config.warmup, config.repetitions, [&] {
+        std::vector<std::thread> threads;
+        for (int s = 0; s < kSessions; ++s)
+          threads.emplace_back([&, s] { clients[static_cast<std::size_t>(s)]->call(request); });
+        for (auto& t : threads) t.join();
+      });
+  for (auto& client : clients) client->close();
+  gateway.stop();
+  return stats;
+}
+
 PerfStats bench_transport_roundtrip(const PerfSuiteConfig& config) {
   runtime::TcpServer server(
       [](const runtime::Blob& request) { return request; });
@@ -416,6 +453,8 @@ int run_perf_suite(const PerfSuiteConfig& config) {
     results.push_back(bench_branch_search_step(config, ctx));
   if (selected("transport_roundtrip"))
     results.push_back(bench_transport_roundtrip(config));
+  if (selected("serve_throughput"))
+    results.push_back(bench_serve_throughput(config));
   if (selected("emulated_frame"))
     results.push_back(bench_emulated_frame(config, ctx));
   if (selected("parallel_search"))

@@ -28,23 +28,40 @@ FieldSession::FieldSession(engine::RealizedStrategy realized,
   // on so a fault dump exists even when metrics collection is off.
   obs::set_flight_recording(true);
   if (offloads()) {
-    cloud_ = std::make_unique<CloudExecutor>(
-        realized.model.slice(realized.cut, realized.model.size()),
-        std::move(cloud_device));
-    const std::uint16_t port = cloud_->start();
+    std::uint16_t port = 0;
+    if (faults_.shared_cloud != nullptr) {
+      // Multi-session mode: this session's cloud half rides the shared
+      // gateway, keyed by session id. start() is idempotent.
+      faults_.shared_cloud->register_session(
+          faults_.session_id,
+          realized.model.slice(realized.cut, realized.model.size()));
+      port = faults_.shared_cloud->start();
+    } else {
+      cloud_ = std::make_unique<CloudExecutor>(
+          realized.model.slice(realized.cut, realized.model.size()),
+          std::move(cloud_device));
+      port = cloud_->start();
+    }
     cloud_up_ = true;
-    TcpClientConfig client_config;
-    client_config.timeout_ms = faults_.cloud_deadline_ms;
-    client_config.max_retries = faults_.max_retries;
-    client_config.backoff_ms = faults_.backoff_ms;
-    client_.connect(port, client_config);
+    client_.connect(port, client_config());
     client_.set_fault_injector(faults_.injector);
   }
+}
+
+TcpClientConfig FieldSession::client_config() const {
+  TcpClientConfig config;
+  config.timeout_ms = faults_.cloud_deadline_ms;
+  config.max_retries = faults_.max_retries;
+  config.backoff_ms = faults_.backoff_ms;
+  config.session_id = faults_.session_id;
+  return config;
 }
 
 FieldSession::~FieldSession() {
   client_.close();
   if (cloud_) cloud_->stop();
+  if (faults_.shared_cloud != nullptr && offloads())
+    faults_.shared_cloud->unregister_session(faults_.session_id);
 }
 
 obs::MetricsRegistry& FieldSession::metrics() const {
@@ -52,24 +69,29 @@ obs::MetricsRegistry& FieldSession::metrics() const {
                                     : obs::MetricsRegistry::global();
 }
 
+CloudExecutor* FieldSession::executor() const {
+  return faults_.shared_cloud != nullptr ? faults_.shared_cloud : cloud_.get();
+}
+
 void FieldSession::kill_cloud() {
-  if (!cloud_ || !cloud_up_) return;
-  // Close the client first: the server's request loop may be blocked in
-  // recv() on this connection, and stop() joins that thread.
+  CloudExecutor* exec = executor();
+  if (exec == nullptr || !cloud_up_) return;
+  // Close the client first so no reply is pending on a connection the
+  // draining gateway is about to shed.
   client_.close();
-  cloud_->stop();
+  if (exec->running()) exec->stop();
   cloud_up_ = false;
 }
 
 void FieldSession::restart_cloud() {
-  if (!cloud_ || cloud_up_) return;
-  const std::uint16_t port = cloud_->start();
+  CloudExecutor* exec = executor();
+  if (exec == nullptr || cloud_up_) return;
+  // Port-stable restart: a shared gateway re-binds its old port, so the
+  // *other* sessions riding it reconnect inside their own retry loops
+  // without being told the address again.
+  const std::uint16_t port = exec->running() ? exec->port() : exec->start();
   cloud_up_ = true;
-  TcpClientConfig client_config;
-  client_config.timeout_ms = faults_.cloud_deadline_ms;
-  client_config.max_retries = faults_.max_retries;
-  client_config.backoff_ms = faults_.backoff_ms;
-  client_.connect(port, client_config);
+  client_.connect(port, client_config());
   client_.set_fault_injector(faults_.injector);
   if (obs::enabled())
     metrics().counter("cadmc.runtime.fault.cloud_restarts").add(1);

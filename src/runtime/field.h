@@ -44,6 +44,14 @@ struct FieldFaultConfig {
   CircuitBreakerConfig breaker;
   FaultInjector* injector = nullptr;        // optional chaos (not owned)
   obs::MetricsRegistry* metrics = nullptr;  // null = global registry
+
+  // Multi-session mode: instead of owning a private CloudExecutor, the
+  // session registers its cloud half (keyed by session_id) with this shared
+  // one — N sessions then multiplex one gateway. Not owned; must outlive
+  // the session. session_id must be unique per session and non-zero for
+  // duplicate-detection and per-session state to apply.
+  CloudExecutor* shared_cloud = nullptr;
+  std::uint64_t session_id = 0;
 };
 
 class FieldSession {
@@ -67,10 +75,12 @@ class FieldSession {
   bool offloads() const { return cut_ < model_size_; }
 
   /// Simulates a cloud-process crash: the executor stops serving and
-  /// in-flight/future calls fail until restart_cloud().
+  /// in-flight/future calls fail until restart_cloud(). In shared-cloud
+  /// mode this stops the shared gateway — every session riding it degrades,
+  /// which is exactly what a cloud-process death looks like.
   void kill_cloud();
-  /// Restarts the cloud executor on a fresh port and reconnects the client.
-  /// The breaker stays open until a probe call succeeds.
+  /// Restarts the cloud executor (port-stable when possible) and reconnects
+  /// the client. The breaker stays open until a probe call succeeds.
   void restart_cloud();
 
   CircuitBreaker::State breaker_state() const { return breaker_.state(); }
@@ -79,6 +89,9 @@ class FieldSession {
   FieldOutcome degrade_locally(FieldOutcome outcome,
                                const tensor::Tensor& features);
   obs::MetricsRegistry& metrics() const;
+  TcpClientConfig client_config() const;
+  /// The executor this session's cloud half lives on (shared or owned).
+  CloudExecutor* executor() const;
 
   std::size_t cut_, model_size_;
   nn::Model edge_model_;

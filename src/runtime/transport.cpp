@@ -17,6 +17,7 @@
 #include "obs/span.h"
 #include "obs/trace_export.h"
 #include "runtime/fault.h"
+#include "runtime/gateway.h"
 
 namespace cadmc::runtime {
 
@@ -26,8 +27,8 @@ constexpr std::size_t kLengthBytes = 8;
 constexpr std::size_t kCrcBytes = 4;
 constexpr std::size_t kHeaderBytes = kFrameHeaderBytes;
 static_assert(kFrameTraceOffset == kLengthBytes + kCrcBytes);
-static_assert(kFrameHeaderBytes ==
-              kFrameTraceOffset + kFrameTraceBytes + kCrcBytes);
+static_assert(kFrameMetaOffset == kFrameTraceOffset + kFrameTraceBytes + kCrcBytes);
+static_assert(kFrameHeaderBytes == kFrameMetaOffset + kFrameMetaBytes + kCrcBytes);
 
 // Byte-wise little-endian codec — the wire format is LE on every host.
 void store_le(std::uint8_t* out, std::uint64_t v, std::size_t bytes) {
@@ -76,22 +77,6 @@ double bits_double(std::uint64_t bits) {
   return v;
 }
 
-/// Whole frame (header + payload) in one buffer so a single send covers it
-/// and fault hooks can mutate specific bytes before it hits the wire.
-Blob encode_frame(const Blob& payload, const TraceContext& trace) {
-  Blob frame(kHeaderBytes + payload.size());
-  store_le(frame.data(), payload.size(), kLengthBytes);
-  store_le(frame.data() + kLengthBytes, crc32(payload.data(), payload.size()),
-           kCrcBytes);
-  std::uint8_t* t = frame.data() + kFrameTraceOffset;
-  store_le(t, trace.trace_id, 8);
-  store_le(t + 8, trace.span_id, 8);
-  store_le(t + 16, double_bits(trace.clock_ms), 8);
-  store_le(t + kFrameTraceBytes, crc32(t, kFrameTraceBytes), kCrcBytes);
-  std::copy(payload.begin(), payload.end(), frame.begin() + kHeaderBytes);
-  return frame;
-}
-
 void set_socket_deadline(int fd, double timeout_ms) {
   if (timeout_ms <= 0.0) return;
   timeval tv{};
@@ -122,21 +107,36 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
   return crc ^ 0xFFFFFFFFu;
 }
 
-bool write_frame(int fd, const Blob& payload, const TraceContext& trace) {
-  const Blob frame = encode_frame(payload, trace);
-  return write_all(fd, frame.data(), frame.size());
+/// Whole frame (header + payload) in one buffer so a single send covers it,
+/// fault hooks can mutate specific bytes before it hits the wire, and the
+/// gateway can push it through a nonblocking fd.
+Blob encode_frame(const Blob& payload, const TraceContext& trace,
+                  const FrameMeta& meta) {
+  Blob frame(kHeaderBytes + payload.size());
+  store_le(frame.data(), payload.size(), kLengthBytes);
+  store_le(frame.data() + kLengthBytes, crc32(payload.data(), payload.size()),
+           kCrcBytes);
+  std::uint8_t* t = frame.data() + kFrameTraceOffset;
+  store_le(t, trace.trace_id, 8);
+  store_le(t + 8, trace.span_id, 8);
+  store_le(t + 16, double_bits(trace.clock_ms), 8);
+  store_le(t + kFrameTraceBytes, crc32(t, kFrameTraceBytes), kCrcBytes);
+  std::uint8_t* m = frame.data() + kFrameMetaOffset;
+  store_le(m, meta.session_id, 8);
+  store_le(m + 8, meta.sequence, 8);
+  store_le(m + 16, double_bits(meta.deadline_ms), 8);
+  store_le(m + 24, static_cast<std::uint32_t>(meta.kind), 4);
+  store_le(m + kFrameMetaBytes, crc32(m, kFrameMetaBytes), kCrcBytes);
+  std::copy(payload.begin(), payload.end(), frame.begin() + kHeaderBytes);
+  return frame;
 }
 
-bool read_frame(int fd, Blob& payload, TraceContext* trace) {
-  if (trace != nullptr) *trace = {};
-  std::uint8_t header[kHeaderBytes];
-  if (!read_all(fd, header, kHeaderBytes)) return false;
-  const std::uint64_t size = load_le(header, kLengthBytes);
-  const auto expected_crc =
-      static_cast<std::uint32_t>(load_le(header + kLengthBytes, kCrcBytes));
-  if (size > (1ULL << 31)) return false;  // sanity cap: 2 GiB frames
-  // The trace section carries its own CRC: a corrupt context must degrade
-  // to a fresh root trace, never cost the frame (the payload has its own).
+namespace {
+
+/// Decodes the fixed header (caller guarantees kHeaderBytes available).
+/// Trace/meta sections each degrade independently on CRC mismatch.
+void decode_header_sections(const std::uint8_t* header, TraceContext* trace,
+                            FrameMeta* meta) {
   const std::uint8_t* t = header + kFrameTraceOffset;
   if (trace != nullptr &&
       static_cast<std::uint32_t>(load_le(t + kFrameTraceBytes, kCrcBytes)) ==
@@ -145,6 +145,64 @@ bool read_frame(int fd, Blob& payload, TraceContext* trace) {
     trace->span_id = load_le(t + 8, 8);
     trace->clock_ms = bits_double(load_le(t + 16, 8));
   }
+  const std::uint8_t* m = header + kFrameMetaOffset;
+  if (meta != nullptr &&
+      static_cast<std::uint32_t>(load_le(m + kFrameMetaBytes, kCrcBytes)) ==
+          crc32(m, kFrameMetaBytes)) {
+    meta->session_id = load_le(m, 8);
+    meta->sequence = load_le(m + 8, 8);
+    meta->deadline_ms = bits_double(load_le(m + 16, 8));
+    const std::uint64_t kind = load_le(m + 24, 4);
+    meta->kind = kind <= static_cast<std::uint64_t>(FrameKind::kError)
+                     ? static_cast<FrameKind>(kind)
+                     : FrameKind::kRequest;
+  }
+}
+
+}  // namespace
+
+ParseResult parse_frame(const std::uint8_t* data, std::size_t len,
+                        std::size_t* consumed, Blob& payload,
+                        TraceContext* trace, FrameMeta* meta,
+                        std::size_t max_payload) {
+  *consumed = 0;
+  if (trace != nullptr) *trace = {};
+  if (meta != nullptr) *meta = {};
+  if (len < kHeaderBytes) return ParseResult::kNeedMore;
+  const std::uint64_t size = load_le(data, kLengthBytes);
+  if (size > max_payload) return ParseResult::kBad;  // oversized length field
+  if (len < kHeaderBytes + size) return ParseResult::kNeedMore;
+  const auto expected_crc =
+      static_cast<std::uint32_t>(load_le(data + kLengthBytes, kCrcBytes));
+  if (crc32(data + kHeaderBytes, size) != expected_crc) {
+    obs::count("cadmc.runtime.fault.corrupt_rejected");
+    return ParseResult::kBad;
+  }
+  decode_header_sections(data, trace, meta);
+  payload.assign(data + kHeaderBytes, data + kHeaderBytes + size);
+  *consumed = kHeaderBytes + static_cast<std::size_t>(size);
+  return ParseResult::kFrame;
+}
+
+bool write_frame(int fd, const Blob& payload, const TraceContext& trace,
+                 const FrameMeta& meta) {
+  const Blob frame = encode_frame(payload, trace, meta);
+  return write_all(fd, frame.data(), frame.size());
+}
+
+bool read_frame(int fd, Blob& payload, TraceContext* trace, FrameMeta* meta) {
+  if (trace != nullptr) *trace = {};
+  if (meta != nullptr) *meta = {};
+  std::uint8_t header[kHeaderBytes];
+  if (!read_all(fd, header, kHeaderBytes)) return false;
+  const std::uint64_t size = load_le(header, kLengthBytes);
+  const auto expected_crc =
+      static_cast<std::uint32_t>(load_le(header + kLengthBytes, kCrcBytes));
+  if (size > (1ULL << 31)) return false;  // sanity cap: 2 GiB frames
+  // The trace/meta sections carry their own CRCs: a corrupt section must
+  // degrade (fresh root trace / anonymous request), never cost the frame
+  // (the payload has its own checksum).
+  decode_header_sections(header, trace, meta);
   payload.resize(size);
   if (size > 0 && !read_all(fd, payload.data(), payload.size())) return false;
   if (crc32(payload.data(), payload.size()) != expected_crc) {
@@ -154,76 +212,30 @@ bool read_frame(int fd, Blob& payload, TraceContext* trace) {
   return true;
 }
 
-TcpServer::TcpServer(RequestHandler handler) : handler_(std::move(handler)) {}
-
-TcpServer::~TcpServer() { stop(); }
-
-std::uint16_t TcpServer::start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("TcpServer: socket() failed");
-  int opt = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("TcpServer: bind() failed");
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 4) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("TcpServer: listen() failed");
-  }
-  running_ = true;
-  thread_ = std::thread([this] { serve(); });
-  return port_;
+double next_decorrelated_backoff_ms(util::Rng& rng, double prev_ms,
+                                    double base_ms, double cap_ms) {
+  if (base_ms <= 0.0) return 0.0;
+  const double hi = std::max(base_ms, std::min(prev_ms * 3.0, cap_ms));
+  return rng.uniform(base_ms, hi);
 }
 
-void TcpServer::serve() {
-  while (running_) {
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener closed
-    }
-    Blob request;
-    TraceContext trace;
-    // A frame that fails the checksum poisons the stream framing, so the
-    // connection is dropped; the client reconnects and retries.
-    while (running_ && read_frame(conn, request, &trace)) {
-      Blob response;
-      {
-        // Parent this request's spans under the sender's span and shift
-        // them into the sender's clock (offset ~ includes the uplink time,
-        // which is exactly where the frame sat).
-        obs::RemoteSpanScope remote(obs::RemoteContext{
-            trace.trace_id, trace.span_id,
-            trace.trace_id != 0 ? trace.clock_ms - obs::steady_now_ms()
-                                : 0.0});
-        CADMC_SPAN("transport_serve");
-        response = handler_(request);
-      }
-      if (!write_frame(conn, response)) break;
-    }
-    ::close(conn);
-  }
+TcpServer::TcpServer(RequestHandler handler, TcpServerConfig config) {
+  GatewayConfig gc;
+  gc.listen_backlog = config.listen_backlog;
+  gc.worker_threads = config.worker_threads;
+  gc.max_queue = config.max_queue;
+  RequestHandler h = std::move(handler);
+  gateway_ = std::make_unique<Gateway>(
+      [h = std::move(h)](const GatewayRequest& request) {
+        return h(request.payload);
+      },
+      gc);
 }
 
-void TcpServer::stop() {
-  if (!running_.exchange(false)) return;
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  if (thread_.joinable()) thread_.join();
-}
+TcpServer::~TcpServer() = default;
+
+std::uint16_t TcpServer::start() { return gateway_->start(); }
+void TcpServer::stop() { gateway_->stop(); }
 
 TcpClient::~TcpClient() { close(); }
 
@@ -231,6 +243,12 @@ void TcpClient::connect(std::uint16_t port, TcpClientConfig config) {
   close();
   port_ = port;
   config_ = config;
+  // Deterministic per-client jitter stream: an explicit seed wins; otherwise
+  // derive from the session id so co-failing sessions de-synchronize.
+  std::uint64_t seed = config.jitter_seed != 0
+                           ? config.jitter_seed
+                           : 0x9E3779B97F4A7C15ULL ^ (config.session_id + 1);
+  jitter_rng_ = util::Rng(util::splitmix64(seed));
   if (!reconnect()) throw std::runtime_error("TcpClient: connect() failed");
 }
 
@@ -258,7 +276,8 @@ void TcpClient::close() {
   }
 }
 
-bool TcpClient::send_request(const Blob& request, std::string& error) {
+bool TcpClient::send_request(const Blob& request, std::uint64_t sequence,
+                             std::string& error) {
   const FrameFault fault =
       injector_ != nullptr ? injector_->next_frame_fault() : FrameFault::kNone;
   if (fault == FrameFault::kDrop) {
@@ -274,8 +293,16 @@ bool TcpClient::send_request(const Blob& request, std::string& error) {
   // Stamp the caller's trace context (innermost live span) into the header
   // so the server's spans join this request's causal tree.
   const obs::OutgoingContext ctx = obs::outgoing_context();
+  FrameMeta meta;
+  meta.session_id = config_.session_id;
+  meta.sequence = sequence;
+  meta.deadline_ms = config_.deadline_budget_ms >= 0.0
+                         ? config_.deadline_budget_ms
+                         : config_.timeout_ms;
+  meta.kind = FrameKind::kRequest;
   Blob frame = encode_frame(
-      request, TraceContext{ctx.trace_id, ctx.span_id, obs::steady_now_ms()});
+      request, TraceContext{ctx.trace_id, ctx.span_id, obs::steady_now_ms()},
+      meta);
   if (fault == FrameFault::kCorrupt)
     frame[frame.size() > kHeaderBytes ? kHeaderBytes : kLengthBytes] ^= 0xFF;
   if (fault == FrameFault::kTruncate)
@@ -295,16 +322,19 @@ Blob TcpClient::call(const Blob& request) {
   if (fd_ < 0 && port_ == 0)
     throw TransportError("TcpClient: not connected");
   CADMC_SPAN("transport_call");
+  const std::uint64_t sequence = ++next_sequence_;
   const int attempts = 1 + std::max(0, config_.max_retries);
-  double backoff = config_.backoff_ms;
+  double backoff = 0.0;
   std::string error = "no attempt made";
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       obs::count("cadmc.runtime.fault.retries");
+      backoff = next_decorrelated_backoff_ms(jitter_rng_, backoff,
+                                             config_.backoff_ms,
+                                             config_.backoff_max_ms);
       if (backoff > 0.0)
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(backoff));
-      backoff = std::min(backoff * 2.0, config_.backoff_max_ms);
     }
     if (fd_ < 0) {
       if (!reconnect()) {
@@ -313,13 +343,39 @@ Blob TcpClient::call(const Blob& request) {
       }
       obs::count("cadmc.runtime.fault.reconnects");
     }
-    if (!send_request(request, error)) {
+    if (!send_request(request, sequence, error)) {
       close();
       continue;
     }
     Blob response;
+    FrameMeta meta;
     errno = 0;
-    if (read_frame(fd_, response)) return response;
+    if (read_frame(fd_, response, nullptr, &meta)) {
+      switch (meta.kind) {
+        case FrameKind::kResponse:
+          return response;
+        case FrameKind::kBusy:
+          // The gateway is shedding load: fall back locally NOW. Retrying
+          // against an overloaded server only deepens the overload.
+          obs::count("cadmc.runtime.fault.busy_rejected");
+          obs::flight_fault(obs::FlightEventKind::kFault, "gateway_busy");
+          throw GatewayBusyError("TcpClient::call: gateway busy (shed)");
+        case FrameKind::kExpired:
+          // Deadline budget died in the gateway queue; a retry carries a
+          // fresh budget (the gateway did not execute, so no duplicate).
+          obs::count("cadmc.runtime.fault.expired_rejected");
+          error = "deadline expired in gateway queue";
+          continue;
+        case FrameKind::kError:
+          obs::flight_fault(obs::FlightEventKind::kFault, "gateway_error");
+          throw TransportError("TcpClient::call: cloud handler failed");
+        case FrameKind::kRequest:
+          break;  // protocol violation; fall through to the drop below
+      }
+      error = "unexpected frame kind";
+      close();
+      continue;
+    }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       error = "deadline exceeded";
       obs::count("cadmc.runtime.fault.call_timeouts");

@@ -14,6 +14,8 @@
 //   cadmc report  --metrics edge.jsonl,cloud.jsonl [--trace-out t.json]
 //   cadmc bench   [--filter transport] [--compare bench/baselines]
 //                 [--out-dir .] [--repetitions 30] [--threshold 0.15]
+//   cadmc serve   [--workers 2] [--backlog 64] [--max-queue 64]
+//                 [--max-inflight 4] [--duration-ms 2000]
 //
 // Any subcommand accepts --threads <N>: the size of the worker pool the
 // search fan-outs run on (overrides the CADMC_THREADS environment variable;
@@ -28,16 +30,20 @@
 // report, their spans joined by shared trace ids.
 //
 // Every subcommand is deterministic for a given --seed.
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "bench/common.h"
 #include "bench/perf_core.h"
 #include "latency/compute_model.h"
 #include "latency/device_profile.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "obs/trace_export.h"
+#include "runtime/gateway.h"
 #include "tree/tree_io.h"
 #include "util/csv.h"
 #include "util/string_util.h"
@@ -308,6 +314,44 @@ int cmd_report(const Flags& flags) {
   return 0;
 }
 
+int cmd_serve(const Flags& flags) {
+  // Standalone echo gateway: brings the concurrent serving stack up on a
+  // real port so its admission/shedding behaviour can be poked from outside
+  // (e.g. a second `cadmc` process, netcat with hand-rolled frames, or the
+  // serve_throughput bench pointed at a live instance). Serves for
+  // --duration-ms, then drains gracefully and reports the gateway counters.
+  runtime::GatewayConfig config;
+  config.worker_threads = std::stoi(flag_or(flags, "workers", "2"));
+  config.listen_backlog = std::stoi(flag_or(flags, "backlog", "64"));
+  config.max_queue = static_cast<std::size_t>(
+      std::stoul(flag_or(flags, "max-queue", "64")));
+  config.max_inflight_per_session =
+      std::stoi(flag_or(flags, "max-inflight", "4"));
+  const double duration_ms = std::stod(flag_or(flags, "duration-ms", "2000"));
+  obs::set_enabled(true);
+  runtime::Gateway gateway(
+      [](const runtime::GatewayRequest& request) { return request.payload; },
+      config);
+  const std::uint16_t port = gateway.start();
+  std::printf("gateway listening on 127.0.0.1:%u (%d workers, queue %zu, "
+              "inflight cap %d) for %.0f ms\n",
+              port, config.worker_threads, config.max_queue,
+              config.max_inflight_per_session, duration_ms);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(duration_ms));
+  gateway.stop();
+  auto& registry = obs::MetricsRegistry::global();
+  util::AsciiTable table({"Counter", "Value"});
+  for (const char* name :
+       {"cadmc.gateway.accepted", "cadmc.gateway.accept_overflow",
+        "cadmc.gateway.completed", "cadmc.gateway.shed",
+        "cadmc.gateway.expired", "cadmc.gateway.duplicates",
+        "cadmc.gateway.errors"})
+    table.add_row({name, std::to_string(registry.counter(name).value())});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
 int cmd_bench(const Flags& flags) {
   bench::PerfSuiteConfig config;
   config.out_dir = flag_or(flags, "out-dir", ".");
@@ -337,6 +381,8 @@ void usage() {
       "  bench   [--filter SUBSTR] [--compare bench/baselines]\n"
       "          [--out-dir DIR] [--repetitions N] [--warmup N]\n"
       "          [--episodes N] [--threshold FRAC]   perf-regression guard\n"
+      "  serve   [--workers N] [--backlog N] [--max-queue N]\n"
+      "          [--max-inflight N] [--duration-ms MS]   run an echo gateway\n"
       "Any command also takes --threads <N> to size the search worker pool\n"
       "(overrides CADMC_THREADS; default: hardware concurrency; results are\n"
       "bit-identical for any N), --metrics-out <path> to collect and save\n"
@@ -353,6 +399,7 @@ int dispatch(const std::string& command, const Flags& flags) {
   if (command == "emulate") return cmd_emulate(flags);
   if (command == "report") return cmd_report(flags);
   if (command == "bench") return cmd_bench(flags);
+  if (command == "serve") return cmd_serve(flags);
   usage();
   return 2;
 }
