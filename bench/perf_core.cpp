@@ -14,6 +14,7 @@
 #include "latency/device_profile.h"
 #include "nn/conv.h"
 #include "nn/factory.h"
+#include "obs/critpath.h"
 #include "obs/export.h"
 #include "obs/span.h"
 #include "obs/trace_export.h"
@@ -438,6 +439,43 @@ PerfStats bench_span_overhead_enabled(const PerfSuiteConfig& config) {
   return per_item(stats, kSpanBatch, "ns");
 }
 
+PerfStats bench_critpath_profile(const PerfSuiteConfig& config) {
+  // The profiler runs after every emulator/field run (`cadmc profile`), so
+  // its own cost has to stay trivial next to the workload it measures. The
+  // synthetic input mirrors a run_tree trace: 64 frames, each a serial chain
+  // of 16 stages with one overlapping (parallel) sibling per stage.
+  std::vector<obs::SpanRecord> spans;
+  std::uint64_t next_id = 1;
+  for (int t = 0; t < 64; ++t) {
+    const std::uint64_t trace = static_cast<std::uint64_t>(t) + 1;
+    obs::SpanRecord frame;
+    frame.id = next_id++;
+    frame.trace_id = trace;
+    frame.name = "frame";
+    frame.wall_ms = 64.0;
+    const std::uint64_t frame_id = frame.id;
+    spans.push_back(std::move(frame));
+    double cursor = 0.0;
+    for (int s = 0; s < 16; ++s) {
+      obs::SpanRecord stage;
+      stage.id = next_id++;
+      stage.parent_id = frame_id;
+      stage.trace_id = trace;
+      stage.name = s % 2 == 0 ? "edge_compute" : "transfer";
+      stage.start_ms = cursor;
+      stage.wall_ms = 2.0;
+      obs::SpanRecord overlap = stage;  // concurrent sibling: never chains
+      overlap.id = next_id++;
+      overlap.name = "measure_bandwidth";
+      spans.push_back(std::move(stage));
+      spans.push_back(std::move(overlap));
+      cursor += 4.0;
+    }
+  }
+  return measure("critpath_profile", config.warmup, config.repetitions,
+                 [&] { obs::profile_spans(spans); });
+}
+
 }  // namespace
 
 int run_perf_suite(const PerfSuiteConfig& config) {
@@ -467,6 +505,8 @@ int run_perf_suite(const PerfSuiteConfig& config) {
     results.push_back(bench_span_overhead_disabled(config));
   if (selected("span_overhead_enabled"))
     results.push_back(bench_span_overhead_enabled(config));
+  if (selected("critpath_profile"))
+    results.push_back(bench_critpath_profile(config));
 
   if (results.empty()) {
     std::fprintf(stderr, "no benchmark matches filter '%s'\n",

@@ -27,6 +27,22 @@ std::string num(double v) {
   return buf;
 }
 
+// Span timestamps need more than num()'s 6 significant digits: an hour of
+// uptime is 3.6e6 ms, where %.6g rounds to whole seconds and the profiler's
+// happens-before ordering (end <= start of the next span) would collapse.
+std::string num_time(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(v)));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
 double to_double(const std::map<std::string, std::string>& event,
                  const std::string& key, double fallback = 0.0) {
   const auto it = event.find(key);
@@ -45,6 +61,19 @@ std::string field(const std::map<std::string, std::string>& event,
 }
 
 }  // namespace
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -140,15 +169,15 @@ std::string report_csv(const RunReport& report) {
   std::ostringstream out;
   out << "kind,name,count,value,sum,min,max,p50,p90,p99\n";
   for (const auto& [name, v] : report.counters)
-    out << "counter," << name << ",," << v << ",,,,,,\n";
+    out << "counter," << csv_escape(name) << ",," << v << ",,,,,,\n";
   for (const auto& [name, v] : report.gauges)
-    out << "gauge," << name << ",," << num(v) << ",,,,,,\n";
+    out << "gauge," << csv_escape(name) << ",," << num(v) << ",,,,,,\n";
   for (const auto& [name, h] : report.histograms)
-    out << "histogram," << name << "," << h.count << ",," << num(h.sum) << ","
-        << num(h.min) << "," << num(h.max) << "," << num(h.p50) << ","
-        << num(h.p90) << "," << num(h.p99) << "\n";
+    out << "histogram," << csv_escape(name) << "," << h.count << ",,"
+        << num(h.sum) << "," << num(h.min) << "," << num(h.max) << ","
+        << num(h.p50) << "," << num(h.p90) << "," << num(h.p99) << "\n";
   for (const auto& [name, s] : report.spans)
-    out << "span," << name << "," << s.count << ","
+    out << "span," << csv_escape(name) << "," << s.count << ","
         << num(s.total_modelled_ms) << "," << num(s.total_wall_ms)
         << ",,,,,\n";
   return out.str();
@@ -172,8 +201,8 @@ std::string to_jsonl(const MetricsRegistry& registry) {
     out << "{\"type\":\"span\",\"name\":\"" << json_escape(s.name)
         << "\",\"id\":" << s.id << ",\"parent\":" << s.parent_id
         << ",\"trace\":" << s.trace_id << ",\"depth\":" << s.depth
-        << ",\"start_ms\":" << num(s.start_ms)
-        << ",\"wall_ms\":" << num(s.wall_ms)
+        << ",\"start_ms\":" << num_time(s.start_ms)
+        << ",\"wall_ms\":" << num_time(s.wall_ms)
         << ",\"modelled_ms\":" << num(s.modelled_ms) << "}\n";
   return out.str();
 }

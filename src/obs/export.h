@@ -70,4 +70,11 @@ RunReport report_from_events(
 
 std::string json_escape(const std::string& s);
 
+/// RFC 4180 field escaping: a value containing a comma, double quote, CR or
+/// LF is wrapped in double quotes with inner quotes doubled; anything else
+/// passes through unchanged. Applied to every name report_csv emits so a
+/// hostile span name ("conv,3x3" or a name with a newline) cannot desync the
+/// CSV columns.
+std::string csv_escape(const std::string& s);
+
 }  // namespace cadmc::obs

@@ -63,13 +63,18 @@ HistogramSnapshot Histogram::snapshot() const {
   s.sum = sum_;
   s.min = min_;
   s.max = max_;
-  if (!samples_.empty()) {
+  if (samples_.size() == 1) {
+    // A single observation is the whole distribution (see the
+    // HistogramSnapshot contract in metrics.h).
+    s.p50 = s.p90 = s.p99 = samples_.front();
+  } else if (!samples_.empty()) {
     std::vector<double> sorted = samples_;
     std::sort(sorted.begin(), sorted.end());
     s.p50 = util::quantile(sorted, 0.50);
     s.p90 = util::quantile(sorted, 0.90);
     s.p99 = util::quantile(sorted, 0.99);
   }
+  // count == 0 leaves every quantile at 0.0 by construction — never NaN.
   return s;
 }
 

@@ -50,6 +50,14 @@ class Gauge {
 
 /// Point-in-time view of a histogram, with quantiles precomputed via
 /// util::quantile over the retained samples.
+///
+/// Degenerate-count contract (pinned by Histogram.QuantileEdges):
+///  * count == 0 — p50/p90/p99 (and min/max/sum) are all 0.0, never NaN:
+///    exporters print these fields verbatim and bare `nan` is not valid
+///    JSON. `count` is the emptiness signal; consumers must check it before
+///    reading the quantiles.
+///  * count == 1 — every quantile equals the single observation (the sample
+///    is the whole distribution; no interpolation happens).
 struct HistogramSnapshot {
   std::vector<double> bounds;          // bucket upper bounds (le semantics)
   std::vector<std::uint64_t> counts;   // bounds.size() + 1 (last = overflow)

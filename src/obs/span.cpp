@@ -51,6 +51,33 @@ double steady_now_ms() {
       .count();
 }
 
+std::uint64_t record_external_span(const char* name, std::uint64_t trace_id,
+                                   std::uint64_t parent_id, double start_ms,
+                                   double wall_ms, MetricsRegistry* registry,
+                                   int depth, FlightEventKind flight_kind) {
+  const bool to_metrics = enabled();
+  const bool to_flight = flight_recording();
+  if (!to_metrics && !to_flight) return 0;
+  SpanRecord record;
+  record.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  record.parent_id = parent_id;
+  record.trace_id = trace_id;
+  record.name = name == nullptr ? "?" : name;
+  record.depth = depth;
+  record.start_ms = start_ms;
+  record.wall_ms = wall_ms;
+  const std::uint64_t id = record.id;
+  if (to_flight)
+    FlightRecorder::global().record(flight_kind, record.name.c_str(), trace_id,
+                                    id, parent_id, start_ms, wall_ms);
+  if (to_metrics) {
+    MetricsRegistry* target =
+        registry != nullptr ? registry : &MetricsRegistry::global();
+    target->record_span(std::move(record));
+  }
+  return id;
+}
+
 RemoteSpanScope::RemoteSpanScope(const RemoteContext& ctx)
     : previous_(t_remote_context) {
   if (ctx.trace_id != 0) t_remote_context = ctx;

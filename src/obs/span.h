@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "obs/metrics.h"
+#include "obs/trace_export.h"
 
 namespace cadmc::obs {
 
@@ -91,6 +92,22 @@ OutgoingContext outgoing_context();
 
 /// Milliseconds on the steady clock since process start (span timebase).
 double steady_now_ms();
+
+/// Records a span for an interval that was measured outside ScopedSpan's
+/// RAII reach — e.g. the gateway's admission-queue wait, whose start was
+/// stamped by the reactor thread and whose end is observed by the worker
+/// that dequeues the request. Allocates a fresh span id, parents the span
+/// explicitly under (`trace_id`, `parent_id`), and records into `registry`
+/// (global when null) and the flight recorder exactly like a closing
+/// ScopedSpan. `start_ms` is in the recorded timebase (caller applies any
+/// remote clock offset); `flight_kind` tags the flight-recorder copy (e.g.
+/// FlightEventKind::kQueue for the gateway's queue-wait spans). No-op
+/// returning 0 while both obs::enabled() and obs::flight_recording() are
+/// off; otherwise returns the span id.
+std::uint64_t record_external_span(
+    const char* name, std::uint64_t trace_id, std::uint64_t parent_id,
+    double start_ms, double wall_ms, MetricsRegistry* registry = nullptr,
+    int depth = 0, FlightEventKind flight_kind = FlightEventKind::kSpan);
 
 #ifndef CADMC_OBS_DISABLED
 #define CADMC_SPAN_CONCAT2(a, b) a##b

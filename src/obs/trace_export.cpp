@@ -65,6 +65,7 @@ const char* kind_name(FlightEventKind kind) {
     case FlightEventKind::kSpan: return "span";
     case FlightEventKind::kFault: return "fault";
     case FlightEventKind::kBreaker: return "breaker";
+    case FlightEventKind::kQueue: return "queue";
   }
   return "?";
 }
@@ -138,18 +139,25 @@ void FlightRecorder::record(FlightEventKind kind, const char* name,
                             double dur_ms) {
   const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[ticket % capacity_];
+  Event event;
+  event.kind = kind;
+  std::strncpy(event.name, name == nullptr ? "?" : name, kNameCapacity - 1);
+  event.name[kNameCapacity - 1] = '\0';
+  event.trace_id = trace_id;
+  event.span_id = span_id;
+  event.parent_id = parent_id;
+  event.t_ms = t_ms;
+  event.dur_ms = dur_ms;
   // Seqlock write: odd while in flight, 2*ticket+2 once published. A reader
-  // that sees mismatched or odd sequence numbers discards the slot.
-  slot.seq.store(2 * ticket + 1, std::memory_order_release);
-  slot.event.kind = kind;
-  std::strncpy(slot.event.name, name == nullptr ? "?" : name,
-               kNameCapacity - 1);
-  slot.event.name[kNameCapacity - 1] = '\0';
-  slot.event.trace_id = trace_id;
-  slot.event.span_id = span_id;
-  slot.event.parent_id = parent_id;
-  slot.event.t_ms = t_ms;
-  slot.event.dur_ms = dur_ms;
+  // that sees mismatched or odd sequence numbers discards the slot. The
+  // payload goes through relaxed word atomics between the fences (see the
+  // Slot comment in the header).
+  std::uint64_t staged[kSlotWords] = {};
+  std::memcpy(staged, &event, sizeof(event));
+  slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t w = 0; w < kSlotWords; ++w)
+    slot.words[w].store(staged[w], std::memory_order_relaxed);
   slot.seq.store(2 * ticket + 2, std::memory_order_release);
 }
 
@@ -167,9 +175,13 @@ std::vector<FlightRecorder::Event> FlightRecorder::snapshot() const {
     const Slot& slot = slots_[ticket % capacity_];
     const std::uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
     if (seq_before != 2 * ticket + 2) continue;  // torn or already recycled
-    Event copy = slot.event;
+    std::uint64_t staged[kSlotWords];
+    for (std::size_t w = 0; w < kSlotWords; ++w)
+      staged[w] = slot.words[w].load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
     if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
+    Event copy;
+    std::memcpy(&copy, staged, sizeof(copy));
     events.push_back(copy);
   }
   return events;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -48,7 +49,7 @@ std::string chrome_trace_from_events(
 // ---------------------------------------------------------------------------
 // Flight recorder.
 
-enum class FlightEventKind { kSpan, kFault, kBreaker };
+enum class FlightEventKind { kSpan, kFault, kBreaker, kQueue };
 
 /// Runtime switch for flight recording (independent of obs::enabled() —
 /// field mode turns it on unconditionally). Off by default.
@@ -98,9 +99,17 @@ class FlightRecorder {
   void clear();
 
  private:
+  // Event payloads are staged through word-sized atomics (relaxed loads and
+  // stores bracketed by the seqlock fences) rather than a plain struct copy:
+  // a plain copy racing a writer is undefined behaviour in the C++ memory
+  // model even though the seqlock discards the torn value, and TSan rightly
+  // flags it. Relaxed word accesses compile to the same machine code.
+  static constexpr std::size_t kSlotWords = (sizeof(Event) + 7) / 8;
+  static_assert(std::is_trivially_copyable_v<Event>);
+
   struct Slot {
     std::atomic<std::uint64_t> seq{0};  // 2*ticket+1 while writing, +2 done
-    Event event;
+    std::atomic<std::uint64_t> words[kSlotWords] = {};
   };
 
   std::size_t capacity_;

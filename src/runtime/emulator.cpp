@@ -163,6 +163,9 @@ RunStats InferenceRunner::run_surgery() const {
   std::vector<Strategy> strategies;
   std::vector<double> latencies;
   FaultState fs = make_fault_state();
+  // Policy-level root span: every frame of the run nests under it, so one
+  // emulator run profiles as a single trace (`cadmc profile`).
+  obs::ScopedSpan policy_span("run_surgery");
   for (int i = 0; i < config_.inferences; ++i) {
     const double staleness =
         config_.estimator_staleness_ms +
@@ -191,6 +194,7 @@ RunStats InferenceRunner::run_branch(const Strategy& strategy) const {
   std::vector<Strategy> strategies;
   std::vector<double> latencies;
   FaultState fs = make_fault_state();
+  obs::ScopedSpan policy_span("run_branch");
   for (int i = 0; i < config_.inferences; ++i) {
     Timeline tl{start_time(i),
                 net::BandwidthEstimator(trace_, config_.estimator_staleness_ms,
@@ -208,6 +212,7 @@ RunStats InferenceRunner::run_tree(const tree::ModelTree& tree) const {
   std::vector<Strategy> strategies;
   std::vector<double> latencies;
   FaultState fs = make_fault_state();
+  obs::ScopedSpan policy_span("run_tree");
   for (int i = 0; i < config_.inferences; ++i) {
     const double staleness =
         config_.estimator_staleness_ms +

@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "obs/span.h"
+#include "obs/trace_export.h"
 
 namespace cadmc::runtime {
 
@@ -82,6 +83,9 @@ struct Gateway::Work {
   double budget_ms = 0.0;
   double deadline_abs_ms = std::numeric_limits<double>::infinity();
   double enqueue_ms = 0.0;
+  double recv_obs_ms = 0.0;  // obs::steady_now_ms() at admission — anchors
+                             // the gateway_queue span and the remote clock
+                             // offset at receive time, not execution time
   // Reply target for anonymous requests; session requests resolve the live
   // target through Session::inflight at completion (it may have been
   // re-pointed by a duplicate), falling back to this one.
@@ -105,6 +109,37 @@ obs::MetricsRegistry& Gateway::metrics() const {
 std::size_t Gateway::session_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return sessions_.size();
+}
+
+GatewayStats Gateway::stats() const {
+  GatewayStats s;
+  s.running = running_.load(std::memory_order_acquire);
+  s.draining = draining_.load(std::memory_order_acquire);
+  s.accepted = n_accepted_.load(std::memory_order_relaxed);
+  s.accept_overflow = n_accept_overflow_.load(std::memory_order_relaxed);
+  s.admitted = n_admitted_.load(std::memory_order_relaxed);
+  s.shed = n_shed_.load(std::memory_order_relaxed);
+  s.expired = n_expired_.load(std::memory_order_relaxed);
+  s.duplicates = n_duplicates_.load(std::memory_order_relaxed);
+  s.completed = n_completed_.load(std::memory_order_relaxed);
+  s.errors = n_errors_.load(std::memory_order_relaxed);
+  const double now = now_ms();
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.queue_depth = queue_.size();
+  s.executing = executing_;
+  s.connections = connections_.size();
+  s.sessions.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    GatewaySessionStats gs;
+    gs.session_id = id;
+    gs.inflight = static_cast<int>(session.inflight.size());
+    gs.breaker_open = session.breaker.state() == CircuitBreaker::State::kOpen;
+    gs.consecutive_failures = session.breaker.consecutive_failures();
+    gs.has_cached_response = session.has_cached;
+    gs.idle_ms = now - session.last_active_ms;
+    s.sessions.push_back(gs);
+  }
+  return s;
 }
 
 std::uint16_t Gateway::start() {
@@ -193,6 +228,7 @@ void Gateway::stop() {
           session->second.inflight.erase(inflight);
         }
       }
+      n_shed_.fetch_add(1, std::memory_order_relaxed);
       if (obs::enabled()) metrics().counter("cadmc.gateway.shed").add(1);
       replies.push_back(
           {std::move(target), FrameKind::kBusy, {}, w.session_id, w.sequence});
@@ -249,6 +285,7 @@ void Gateway::reactor() {
             // Out of connection budget: shed at the door, visibly. (The
             // kernel-level variant of this — SYN-queue overflow on the old
             // backlog-4 listener — was invisible; this one is counted.)
+            n_accept_overflow_.fetch_add(1, std::memory_order_relaxed);
             if (obs::enabled())
               metrics().counter("cadmc.gateway.accept_overflow").add(1);
             ::close(client);
@@ -264,6 +301,7 @@ void Gateway::reactor() {
             std::lock_guard<std::mutex> lock(mutex_);
             connections_[client] = std::move(conn);
           }
+          n_accepted_.fetch_add(1, std::memory_order_relaxed);
           if (obs::enabled())
             metrics().counter("cadmc.gateway.accepted").add(1);
         }
@@ -340,7 +378,9 @@ void Gateway::on_readable(const std::shared_ptr<Connection>& conn) {
 void Gateway::admit(const std::shared_ptr<Connection>& conn, Blob payload,
                     const TraceContext& trace, const FrameMeta& meta) {
   const double now = now_ms();
+  const double recv_obs = obs::steady_now_ms();
   FrameKind reject = FrameKind::kRequest;  // kRequest = admitted
+  const char* shed_cause = nullptr;
   Blob cached;
   bool reply_cached = false;
   std::vector<Work> expired;
@@ -367,6 +407,7 @@ void Gateway::admit(const std::shared_ptr<Connection>& conn, Blob payload,
       auto inflight = session->inflight.find(meta.sequence);
       if (inflight != session->inflight.end()) {
         inflight->second = conn;
+        n_duplicates_.fetch_add(1, std::memory_order_relaxed);
         if (obs::enabled())
           metrics().counter("cadmc.gateway.duplicates").add(1);
         return;
@@ -375,6 +416,7 @@ void Gateway::admit(const std::shared_ptr<Connection>& conn, Blob payload,
         reply_cached = true;
         reject = session->cached_kind;
         cached = session->cached_payload;
+        n_duplicates_.fetch_add(1, std::memory_order_relaxed);
         if (obs::enabled())
           metrics().counter("cadmc.gateway.duplicates").add(1);
       }
@@ -382,19 +424,25 @@ void Gateway::admit(const std::shared_ptr<Connection>& conn, Blob payload,
     if (!reply_cached) {
       if (draining_.load(std::memory_order_acquire) || stop_workers_) {
         reject = FrameKind::kBusy;
+        shed_cause = "shed_draining";
       } else if (session != nullptr && !session->breaker.allow_request()) {
         // This session's handler calls keep failing; shed until a probe
         // gets through and succeeds.
         reject = FrameKind::kBusy;
+        shed_cause = "shed_breaker";
       } else if (session != nullptr &&
                  static_cast<int>(session->inflight.size()) >=
                      config_.max_inflight_per_session) {
         reject = FrameKind::kBusy;  // one stalled session can't own the queue
+        shed_cause = "shed_inflight_cap";
       } else if (queue_.size() >= config_.max_queue) {
         // Full: make room by shedding already-expired entries back-to-front
         // (the newest queued work is the least likely to make its deadline).
         expired = shed_expired_locked(now);
-        if (queue_.size() >= config_.max_queue) reject = FrameKind::kBusy;
+        if (queue_.size() >= config_.max_queue) {
+          reject = FrameKind::kBusy;
+          shed_cause = "shed_queue_full";
+        }
       }
     }
     if (reject == FrameKind::kRequest) {
@@ -406,13 +454,29 @@ void Gateway::admit(const std::shared_ptr<Connection>& conn, Blob payload,
       w.budget_ms = meta.deadline_ms;
       if (meta.deadline_ms > 0.0) w.deadline_abs_ms = now + meta.deadline_ms;
       w.enqueue_ms = now;
+      w.recv_obs_ms = recv_obs;
       w.conn = conn;
       if (session != nullptr && meta.sequence != 0)
         session->inflight[meta.sequence] = conn;
       queue_.push_back(std::move(w));
+      n_admitted_.fetch_add(1, std::memory_order_relaxed);
       update_gauges_locked();
-    } else if (reject == FrameKind::kBusy && obs::enabled()) {
-      metrics().counter("cadmc.gateway.shed").add(1);
+    } else if (reject == FrameKind::kBusy) {
+      n_shed_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) metrics().counter("cadmc.gateway.shed").add(1);
+    }
+  }
+  if (shed_cause != nullptr && obs::flight_recording()) {
+    // A flight dump after a BUSY storm must say *why* requests were shed.
+    // Queue-full is the storm signature worth a postmortem dump (rate
+    // limited); the targeted sheds are point events with the caller's trace
+    // linkage so the refused request is identifiable.
+    if (std::strcmp(shed_cause, "shed_queue_full") == 0) {
+      obs::flight_fault(obs::FlightEventKind::kQueue, shed_cause);
+    } else {
+      obs::FlightRecorder::global().record(obs::FlightEventKind::kQueue,
+                                           shed_cause, trace.trace_id, 0,
+                                           trace.span_id, recv_obs, 0.0);
     }
   }
   for (const Work& w : expired)
@@ -447,6 +511,7 @@ std::vector<Gateway::Work> Gateway::shed_expired_locked(double now) {
         session->second.inflight.erase(inflight);
       }
     }
+    n_expired_.fetch_add(1, std::memory_order_relaxed);
     if (obs::enabled()) metrics().counter("cadmc.gateway.expired").add(1);
     w.conn = std::move(target);
   }
@@ -496,6 +561,7 @@ void Gateway::worker_loop() {
             session->second.inflight.erase(inflight);
           }
         }
+        n_expired_.fetch_add(1, std::memory_order_relaxed);
         if (obs::enabled()) metrics().counter("cadmc.gateway.expired").add(1);
         update_gauges_locked();
         if (queue_.empty() && executing_ == 0) drained_cv_.notify_all();
@@ -510,15 +576,26 @@ void Gateway::worker_loop() {
             .observe(now - w.enqueue_ms);
       update_gauges_locked();
     }
+    // The remote clock offset is anchored at *receive* time, so the queue
+    // wait lands inside the sender's timeline instead of being silently
+    // absorbed: gateway_queue ends exactly where transport_serve begins and
+    // the reactor→queue→worker handoff shows up on the critical path.
+    const double clock_offset =
+        w.trace.trace_id != 0 ? w.trace.clock_ms - w.recv_obs_ms : 0.0;
+    if (w.trace.trace_id != 0) {
+      const double wait_obs_ms = obs::steady_now_ms() - w.recv_obs_ms;
+      obs::record_external_span("gateway_queue", w.trace.trace_id,
+                                w.trace.span_id, w.trace.clock_ms, wait_obs_ms,
+                                &metrics(), /*depth=*/0,
+                                obs::FlightEventKind::kQueue);
+    }
     Blob out;
     bool ok = true;
     {
       // Join the sender's trace: spans the handler opens are parented under
       // the edge's transport_call span, time-shifted into its clock.
       obs::RemoteSpanScope remote(obs::RemoteContext{
-          w.trace.trace_id, w.trace.span_id,
-          w.trace.trace_id != 0 ? w.trace.clock_ms - obs::steady_now_ms()
-                                : 0.0});
+          w.trace.trace_id, w.trace.span_id, clock_offset});
       CADMC_SPAN("transport_serve");
       try {
         out = handler_(
@@ -550,6 +627,7 @@ void Gateway::worker_loop() {
           s.cached_payload = ok ? out : Blob{};
         }
       }
+      (ok ? n_completed_ : n_errors_).fetch_add(1, std::memory_order_relaxed);
       if (obs::enabled())
         metrics()
             .counter(ok ? "cadmc.gateway.completed" : "cadmc.gateway.errors")

@@ -60,6 +60,36 @@ struct GatewayRequest {
 
 using GatewayHandler = std::function<Blob(const GatewayRequest&)>;
 
+/// Point-in-time view of one session's gateway-side state.
+struct GatewaySessionStats {
+  std::uint64_t session_id = 0;
+  int inflight = 0;                // admitted, not yet answered
+  bool breaker_open = false;
+  int consecutive_failures = 0;
+  bool has_cached_response = false;
+  double idle_ms = 0.0;            // since the session's last frame
+};
+
+/// Live introspection snapshot (Gateway::stats()). The counters are
+/// always-on relaxed atomics, independent of obs::enabled(), so an operator
+/// can inspect a production gateway that runs with metrics off.
+struct GatewayStats {
+  bool running = false;
+  bool draining = false;
+  std::size_t queue_depth = 0;
+  int executing = 0;               // requests currently inside the handler
+  std::size_t connections = 0;
+  std::uint64_t accepted = 0;         // connections accepted
+  std::uint64_t accept_overflow = 0;  // connections shed at the door
+  std::uint64_t admitted = 0;         // requests enqueued
+  std::uint64_t shed = 0;             // BUSY answers (any cause)
+  std::uint64_t expired = 0;          // EXPIRED answers
+  std::uint64_t duplicates = 0;       // retries short-circuited
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::vector<GatewaySessionStats> sessions;  // sorted by session id
+};
+
 struct GatewayConfig {
   int worker_threads = 2;
   int listen_backlog = 64;
@@ -96,6 +126,11 @@ class Gateway {
 
   /// Live (un-reaped) session-state entries — for tests and gauges.
   std::size_t session_count() const;
+
+  /// Snapshot of the gateway's live state: queue depth, executing count,
+  /// lifetime counters and per-session inflight/breaker/cache state.
+  /// Thread-safe; callable at any time, including while stopped.
+  GatewayStats stats() const;
 
  private:
   struct Connection;
@@ -143,6 +178,18 @@ class Gateway {
   std::map<std::uint64_t, Session> sessions_;
   std::map<int, std::shared_ptr<Connection>> connections_;
   int executing_ = 0;  // requests currently inside the handler
+
+  // Lifetime counters behind stats() — always on (relaxed increments are
+  // nearly free), unlike the cadmc.gateway.* metrics which obs::enabled()
+  // gates.
+  std::atomic<std::uint64_t> n_accepted_{0};
+  std::atomic<std::uint64_t> n_accept_overflow_{0};
+  std::atomic<std::uint64_t> n_admitted_{0};
+  std::atomic<std::uint64_t> n_shed_{0};
+  std::atomic<std::uint64_t> n_expired_{0};
+  std::atomic<std::uint64_t> n_duplicates_{0};
+  std::atomic<std::uint64_t> n_completed_{0};
+  std::atomic<std::uint64_t> n_errors_{0};
 };
 
 }  // namespace cadmc::runtime

@@ -99,7 +99,13 @@ TEST(Histogram, QuantileEdges) {
   const HistogramSnapshot empty = reg.histogram("cadmc.test.empty").snapshot();
   EXPECT_EQ(empty.count, 0u);
   EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p90, 0.0);
   EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+  EXPECT_DOUBLE_EQ(empty.sum, 0.0);
+  EXPECT_DOUBLE_EQ(empty.min, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+  // The zeros (not NaN) matter downstream: a bare `nan` is not valid JSON.
+  EXPECT_EQ(to_jsonl(reg).find("nan"), std::string::npos);
   // Single sample: every quantile equals it.
   Histogram& one = reg.histogram("cadmc.test.one");
   one.observe(7.25);
@@ -114,6 +120,59 @@ TEST(Histogram, QuantileEdges) {
   EXPECT_NEAR(su.p50, 50.5, 1e-9);
   EXPECT_NEAR(su.p90, 90.1, 1e-9);
   EXPECT_NEAR(su.p99, 99.01, 1e-9);
+}
+
+TEST(CsvEscape, KnownAnswers) {
+  EXPECT_EQ(csv_escape("plain_name.v2"), "plain_name.v2");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("he said \"hi\""), "\"he said \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(csv_escape(",\"\n"), "\",\"\"\n\"");
+}
+
+// Counts the fields of one CSV row, honouring RFC 4180 quoting, and returns
+// the index just past the row's terminating newline.
+std::size_t csv_row_fields(const std::string& text, std::size_t& pos) {
+  std::size_t fields = 1;
+  bool quoted = false;
+  while (pos < text.size()) {
+    const char c = text[pos++];
+    if (quoted) {
+      if (c == '"') {
+        if (pos < text.size() && text[pos] == '"') ++pos;  // escaped quote
+        else quoted = false;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      ++fields;
+    } else if (c == '\n') {
+      break;
+    }
+  }
+  return fields;
+}
+
+TEST(CsvEscape, HostileMetricNamesKeepReportCsvRectangular) {
+  EnabledGuard guard(true);
+  MetricsRegistry reg;
+  reg.counter("evil,\"counter\"").add(3);
+  reg.histogram("rows\nof\nlies").observe(1.0);
+  { ScopedSpan span("conv,3x3", &reg); }
+  const std::string csv = report_csv(make_report(reg));
+
+  // The hostile names survive as single quoted fields...
+  EXPECT_NE(csv.find("\"evil,\"\"counter\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("\"rows\nof\nlies\""), std::string::npos);
+  EXPECT_NE(csv.find("\"conv,3x3\""), std::string::npos);
+  // ...and every row still has the header's column count.
+  std::size_t pos = 0;
+  const std::size_t header_fields = csv_row_fields(csv, pos);
+  EXPECT_GE(header_fields, 4u);
+  while (pos < csv.size())
+    EXPECT_EQ(csv_row_fields(csv, pos), header_fields);
 }
 
 TEST(Histogram, DefaultBoundsAreSorted) {

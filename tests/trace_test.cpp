@@ -314,6 +314,69 @@ TEST(FlightRecorderTest, ConcurrentWritersNeverTearSnapshots) {
   writer.join();
 }
 
+// Wraparound stress for the per-slot seqlock: four writers lap a tiny ring
+// thousands of times while a reader snapshots. Each event is written with
+// dur_ms = 2 * t_ms + 1, so any torn copy (words from two different writes)
+// breaks the invariant. Also pins the kQueue wire name ("queue") introduced
+// for gateway queue waits.
+TEST(FlightRecorderTest, RingWraparoundUnderConcurrentWritersStaysConsistent) {
+  FlightRecorder recorder(8);  // tiny: every write after the 8th wraps
+  constexpr int kWriters = 4, kPerWriter = 4000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&, w] {
+      while (!go.load(std::memory_order_relaxed)) std::this_thread::yield();
+      for (int i = 0; i < kPerWriter; ++i) {
+        const double t = static_cast<double>(w * kPerWriter + i);
+        recorder.record(FlightEventKind::kQueue, "gateway_queue", 1, 2, 3, t,
+                        2.0 * t + 1.0);
+      }
+    });
+  go = true;
+  // Snapshot while the ring is being lapped: torn slots must be dropped, and
+  // every returned event must be internally consistent.
+  for (int pass = 0; pass < 400; ++pass) {
+    for (const auto& event : recorder.snapshot()) {
+      EXPECT_EQ(event.kind, FlightEventKind::kQueue);
+      EXPECT_STREQ(event.name, "gateway_queue");
+      EXPECT_DOUBLE_EQ(event.dur_ms, 2.0 * event.t_ms + 1.0);
+    }
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  // Concurrent laps may leave a slot whose final write came from an older
+  // ticket (the reader rightly discards those), so only bound the size here…
+  EXPECT_LE(recorder.snapshot().size(), recorder.capacity());
+  // …then lap the ring once single-threaded: quiescent wraparound must
+  // retain exactly the last `capacity` events, oldest first.
+  for (int i = 0; i < 2 * static_cast<int>(recorder.capacity()); ++i)
+    recorder.record(FlightEventKind::kQueue, "settled", 1, 2, 3,
+                    static_cast<double>(i), 0.0);
+  const auto settled = recorder.snapshot();
+  ASSERT_EQ(settled.size(), recorder.capacity());
+  EXPECT_DOUBLE_EQ(settled.front().t_ms,
+                   static_cast<double>(recorder.capacity()));
+  EXPECT_DOUBLE_EQ(settled.back().t_ms,
+                   static_cast<double>(2 * recorder.capacity() - 1));
+}
+
+TEST(FlightRecorderTest, QueueEventsDumpWithQueueKind) {
+  FlightRecorder recorder(8);
+  recorder.record(FlightEventKind::kQueue, "shed_queue_full", 9, 0, 4, 12.0,
+                  0.0);
+  const std::string path = temp_path("cadmc_trace_test_queue_dump.jsonl");
+  ASSERT_TRUE(recorder.dump_jsonl(path, "unit_test"));
+  std::string text;
+  ASSERT_TRUE(util::read_file(path, text));
+  const auto events = obs::parse_jsonl(text);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].at("kind"), "queue");
+  EXPECT_EQ(events[1].at("name"), "shed_queue_full");
+  std::filesystem::remove(path);
+}
+
 /// Acceptance: killing the cloud mid-run must leave a flight dump on disk
 /// whose events include the breaker_open transition.
 TEST(FlightDump, CloudKillProducesBreakerOpenDump) {

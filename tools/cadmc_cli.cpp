@@ -1,7 +1,11 @@
 // cadmc — command-line front end for the library.
 //
 //   cadmc scenes
-//   cadmc profile --model vgg11 --device phone
+//   cadmc layers  --model vgg11 --device phone
+//   cadmc profile --trace run.jsonl[,cloud.jsonl] [--format report|jsonl|csv]
+//                 [--top 20] [--out profile.csv]      critical-path profiler
+//   cadmc profile --model vgg11 --device phone --scene "4G (weak) indoor"
+//                 [--policy all|surgery|branch|tree] [--inferences 8] [--field]
 //   cadmc trace   --scene "4G outdoor quick" [--duration-ms 60000]
 //                 [--seed 7] [--out trace.csv]
 //   cadmc train   --model vgg11 --device phone --scene "4G (weak) indoor"
@@ -40,8 +44,10 @@
 #include "bench/perf_core.h"
 #include "latency/compute_model.h"
 #include "latency/device_profile.h"
+#include "obs/critpath.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/trace_export.h"
 #include "runtime/gateway.h"
 #include "tree/tree_io.h"
@@ -101,7 +107,7 @@ int cmd_scenes() {
   return 0;
 }
 
-int cmd_profile(const Flags& flags) {
+int cmd_layers(const Flags& flags) {
   nn::Model model = model_by_name(flag_or(flags, "model", "vgg11"));
   const latency::ComputeLatencyModel device(
       latency::profile_by_name(flag_or(flags, "device", "phone")));
@@ -277,6 +283,98 @@ int cmd_emulate(const Flags& flags) {
   return 0;
 }
 
+int cmd_profile(const Flags& flags) {
+  // Two modes: point at recorded trace files (--trace, JSONL metric streams
+  // and/or Chrome trace documents, comma-separated — e.g. the edge and
+  // cloud halves of a field run, merged by shared trace ids), or run an
+  // emulator workload inline and profile the spans it produced.
+  obs::ProfileReport report;
+  const std::string paths = flag_or(flags, "trace", "");
+  if (!paths.empty()) {
+    std::vector<obs::SpanRecord> spans;
+    for (const std::string& raw : util::split(paths, ',')) {
+      const std::string path = util::trim(raw);
+      if (path.empty()) continue;
+      std::string text;
+      if (!util::read_file(path, text)) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+      }
+      const std::vector<obs::SpanRecord> parsed =
+          obs::looks_like_chrome_trace(text)
+              ? obs::spans_from_chrome_trace(text)
+              : obs::spans_from_events(obs::parse_jsonl(text));
+      spans.insert(spans.end(), parsed.begin(), parsed.end());
+    }
+    if (spans.empty()) {
+      std::fprintf(stderr, "no span records in %s\n", paths.c_str());
+      return 1;
+    }
+    report = obs::profile_spans(spans);
+  } else {
+    // Inline workload: the emulator run from `cadmc emulate`, with span
+    // collection forced on, profiled straight from the registry.
+    const std::string model_name = flag_or(flags, "model", "vgg11");
+    const std::string policy = flag_or(flags, "policy", "all");
+    bench::BenchConfig config;
+    config.branch_episodes = std::stoi(flag_or(flags, "episodes", "150"));
+    config.tree_episodes = config.branch_episodes;
+    net::EvalContext context{
+        model_name == "vgg11" ? "VGG11" : "AlexNet",
+        flag_or(flags, "device", "phone"),
+        net::scene_by_name(flag_or(flags, "scene", "4G indoor static"))};
+    const bench::ContextArtifacts art = bench::train_context(context, config);
+    runtime::RunnerConfig rc;
+    rc.mode = flags.count("field") > 0 ? runtime::TimingMode::kField
+                                       : runtime::TimingMode::kEstimated;
+    rc.inferences = std::stoi(flag_or(flags, "inferences", "8"));
+    rc.seed = 0xC11;
+    runtime::InferenceRunner runner(*art.evaluator, art.trace, art.boundaries,
+                                    rc);
+    obs::set_enabled(true);
+    // The runner records into the global registry via ScopedSpan defaults;
+    // profile only the spans this workload appends instead of resetting
+    // state the caller may be exporting with --metrics-out.
+    const std::size_t before = obs::MetricsRegistry::global().spans().size();
+    if (policy == "all" || policy == "surgery") runner.run_surgery();
+    if (policy == "all" || policy == "branch") runner.run_branch(art.branch.best);
+    if (policy == "all" || policy == "tree") runner.run_tree(art.tree.tree);
+    std::vector<obs::SpanRecord> spans =
+        obs::MetricsRegistry::global().spans();
+    spans.erase(spans.begin(),
+                spans.begin() + static_cast<std::ptrdiff_t>(
+                                    std::min(before, spans.size())));
+    report = obs::profile_spans(spans);
+  }
+
+  const std::string format = flag_or(flags, "format", "report");
+  std::string rendered;
+  if (format == "jsonl") {
+    rendered = obs::profile_jsonl(report);
+  } else if (format == "csv") {
+    rendered = obs::profile_csv(report);
+  } else if (format == "report") {
+    rendered = obs::render_profile(
+        report, static_cast<std::size_t>(
+                    std::stoul(flag_or(flags, "top", "20"))));
+  } else {
+    std::fprintf(stderr, "--format expects report|jsonl|csv, got '%s'\n",
+                 format.c_str());
+    return 2;
+  }
+  const std::string out = flag_or(flags, "out", "");
+  if (!out.empty()) {
+    if (!util::write_file(out, rendered)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("profile saved to %s\n", out.c_str());
+  } else {
+    std::printf("%s", rendered.c_str());
+  }
+  return 0;
+}
+
 int cmd_report(const Flags& flags) {
   const std::string paths = flag_or(flags, "metrics", "");
   if (paths.empty()) {
@@ -339,15 +437,24 @@ int cmd_serve(const Flags& flags) {
               config.max_inflight_per_session, duration_ms);
   std::this_thread::sleep_for(
       std::chrono::duration<double, std::milli>(duration_ms));
+  const runtime::GatewayStats live = gateway.stats();
+  std::printf("live: queue %zu, executing %d, connections %zu, sessions %zu\n",
+              live.queue_depth, live.executing, live.connections,
+              live.sessions.size());
   gateway.stop();
-  auto& registry = obs::MetricsRegistry::global();
+  const runtime::GatewayStats stats = gateway.stats();
   util::AsciiTable table({"Counter", "Value"});
-  for (const char* name :
-       {"cadmc.gateway.accepted", "cadmc.gateway.accept_overflow",
-        "cadmc.gateway.completed", "cadmc.gateway.shed",
-        "cadmc.gateway.expired", "cadmc.gateway.duplicates",
-        "cadmc.gateway.errors"})
-    table.add_row({name, std::to_string(registry.counter(name).value())});
+  const auto row = [&](const char* name, std::uint64_t v) {
+    table.add_row({name, std::to_string(v)});
+  };
+  row("accepted", stats.accepted);
+  row("accept_overflow", stats.accept_overflow);
+  row("admitted", stats.admitted);
+  row("completed", stats.completed);
+  row("shed", stats.shed);
+  row("expired", stats.expired);
+  row("duplicates", stats.duplicates);
+  row("errors", stats.errors);
   std::printf("%s", table.to_string().c_str());
   return 0;
 }
@@ -368,7 +475,12 @@ void usage() {
   std::printf(
       "cadmc <command> [flags]\n"
       "  scenes                               list network scene presets\n"
-      "  profile --model M --device D         per-layer latency profile\n"
+      "  layers  --model M --device D         per-layer latency table\n"
+      "  profile --trace f.jsonl[,g.json]     critical-path profile of a\n"
+      "          [--format report|jsonl|csv]  recorded span stream (JSONL\n"
+      "          [--top N] [--out f]          metrics or Chrome trace), or\n"
+      "  profile --model M --device D --scene S [--policy P] [--inferences N]\n"
+      "          [--field]                    profile an inline emulator run\n"
       "  trace   --scene S [--out f.csv]      generate a bandwidth trace\n"
       "  train   --model M --device D --scene S [--out tree.txt]\n"
       "  compose --model M --tree f --bandwidth-mbps X\n"
@@ -392,6 +504,7 @@ void usage() {
 
 int dispatch(const std::string& command, const Flags& flags) {
   if (command == "scenes") return cmd_scenes();
+  if (command == "layers") return cmd_layers(flags);
   if (command == "profile") return cmd_profile(flags);
   if (command == "trace") return cmd_trace(flags);
   if (command == "train") return cmd_train(flags);
@@ -414,6 +527,9 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Flags flags = parse_flags(argc, argv, 2);
   obs::init_from_env();
+  // CADMC_METRICS_INTERVAL_MS starts the live JSONL heartbeat exporter; its
+  // destructor (end of main) writes the final snapshot.
+  const auto snapshot_exporter = obs::SnapshotExporter::from_env();
   const std::string threads = flag_or(flags, "threads", "");
   if (!threads.empty()) {
     try {
