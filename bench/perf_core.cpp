@@ -21,6 +21,7 @@
 #include "runtime/decision_engine.h"
 #include "runtime/gateway.h"
 #include "runtime/transport.h"
+#include "tensor/kernel_mode.h"
 #include "tree/tree_search.h"
 #include "util/csv.h"
 #include "util/rng.h"
@@ -96,6 +97,9 @@ std::string perf_json(const PerfStats& stats) {
   line += ",\"min\":" + num(stats.min);
   line += ",\"max\":" + num(stats.max);
   line += ",\"throughput_per_s\":" + num(stats.throughput_per_s);
+  if (stats.speedup_vs_deterministic > 0.0)
+    line += ",\"speedup_vs_deterministic\":" +
+            num(stats.speedup_vs_deterministic);
   line += "}";
   return line;
 }
@@ -130,6 +134,8 @@ bool load_perf_json(const std::string& path, PerfStats& stats) {
     stats.min = field_or(event, "min", 0.0);
     stats.max = field_or(event, "max", 0.0);
     stats.throughput_per_s = field_or(event, "throughput_per_s", 0.0);
+    stats.speedup_vs_deterministic =
+        field_or(event, "speedup_vs_deterministic", 0.0);
     return true;
   }
   return false;
@@ -367,43 +373,68 @@ PerfStats bench_parallel_search(const PerfSuiteConfig& config) {
 // bench/baselines/ were captured with CADMC_THREADS=1 on the naive loop-nest
 // kernels, so --compare against them shows the blocked-kernel speedup (and
 // guards it: ratios drifting back toward 1.0 mean the kernels regressed).
+//
+// Each kernel bench runs twice: once as `<name>` pinned to the deterministic
+// scalar kernels and once as `<name>_fast` pinned to the AVX2/FMA vector
+// kernels (skipped when the hardware can't run them). The post-pass in
+// run_perf_suite stamps the fast record with its measured
+// speedup_vs_deterministic ratio.
 
-PerfStats bench_gemm_nn(const PerfSuiteConfig& config) {
+/// Pins the kernel mode for one benchmark body, restoring the previously
+/// requested mode (CLI/env selection) on exit.
+struct KernelModeScope {
+  explicit KernelModeScope(tensor::KernelMode mode)
+      : saved_(tensor::requested_kernel_mode()) {
+    tensor::set_kernel_mode(mode);
+  }
+  ~KernelModeScope() { tensor::set_kernel_mode(saved_); }
+  tensor::KernelMode saved_;
+};
+
+PerfStats bench_gemm_nn(const PerfSuiteConfig& config, const char* name,
+                        tensor::KernelMode mode) {
+  const KernelModeScope scope(mode);
   util::Rng rng(0x6E44);
   const auto a = tensor::Tensor::randn({160, 160}, rng);
   const auto b = tensor::Tensor::randn({160, 160}, rng);
-  return measure("gemm_nn", config.warmup, config.repetitions,
+  return measure(name, config.warmup, config.repetitions,
                  [&] { tensor::matmul(a, b); });
 }
 
-PerfStats bench_conv_forward(const PerfSuiteConfig& config) {
+PerfStats bench_conv_forward(const PerfSuiteConfig& config, const char* name,
+                             tensor::KernelMode mode) {
+  const KernelModeScope scope(mode);
   util::Rng rng(0xC0F4);
   nn::Conv2d conv(32, 64, 3, 1, 1, rng);
   const auto x = tensor::Tensor::randn({4, 32, 16, 16}, rng, 0.3f);
-  return measure("conv_forward", config.warmup, config.repetitions,
+  return measure(name, config.warmup, config.repetitions,
                  [&] { conv.forward(x, false); });
 }
 
-PerfStats bench_conv_backward(const PerfSuiteConfig& config) {
+PerfStats bench_conv_backward(const PerfSuiteConfig& config, const char* name,
+                              tensor::KernelMode mode) {
+  const KernelModeScope scope(mode);
   util::Rng rng(0xC0B4);
   nn::Conv2d conv(32, 64, 3, 1, 1, rng);
   const auto x = tensor::Tensor::randn({4, 32, 16, 16}, rng, 0.3f);
   const auto grad = tensor::Tensor::randn({4, 64, 16, 16}, rng, 0.1f);
   conv.forward(x, true);  // cache the input once; backward re-reads it
-  return measure("conv_backward", config.warmup, config.repetitions,
+  return measure(name, config.warmup, config.repetitions,
                  [&] { conv.backward(grad); });
 }
 
-PerfStats bench_distill_train(const PerfSuiteConfig& config) {
+PerfStats bench_distill_train(const PerfSuiteConfig& config, const char* name,
+                              tensor::KernelMode mode) {
   // The RealAccuracyEvaluator::train_and_evaluate hot loop (Alg. 3 /
   // Sec. VII): every parallel-search candidate pays this path, so its p50 is
   // the wall-clock floor of performance-driven search.
+  const KernelModeScope scope(mode);
   const data::SynthCifar dataset(12, 4, 0xD157, /*noise=*/0.15);
   const nn::Model base = nn::make_tiny_cnn(4, 12, 8);
   const engine::RealAccuracyEvaluator evaluator(base, dataset, 128, 64, 16,
                                                 /*train_steps=*/8, /*lr=*/0.05);
   std::uint64_t seed = 100;
-  return measure("distill_train", config.warmup, config.repetitions, [&] {
+  return measure(name, config.warmup, config.repetitions, [&] {
     nn::Model student = nn::make_tiny_cnn(4, 12, seed++);
     evaluator.train_and_evaluate(student);
   });
@@ -479,9 +510,15 @@ PerfStats bench_critpath_profile(const PerfSuiteConfig& config) {
 }  // namespace
 
 int run_perf_suite(const PerfSuiteConfig& config) {
+  // Substring match, or exact match with a trailing '$' — needed to run
+  // `distill_train` without also selecting `distill_train_fast` (profiling
+  // one kernel mode in isolation).
   const auto selected = [&](const char* name) {
-    return config.filter.empty() ||
-           std::string(name).find(config.filter) != std::string::npos;
+    if (config.filter.empty()) return true;
+    if (config.filter.back() == '$')
+      return config.filter.compare(0, config.filter.size() - 1, name) == 0 &&
+             config.filter.size() == std::string(name).size() + 1;
+    return std::string(name).find(config.filter) != std::string::npos;
   };
 
   SuiteContext ctx;
@@ -497,10 +534,37 @@ int run_perf_suite(const PerfSuiteConfig& config) {
     results.push_back(bench_emulated_frame(config, ctx));
   if (selected("parallel_search"))
     results.push_back(bench_parallel_search(config));
-  if (selected("gemm_nn")) results.push_back(bench_gemm_nn(config));
-  if (selected("conv_forward")) results.push_back(bench_conv_forward(config));
-  if (selected("conv_backward")) results.push_back(bench_conv_backward(config));
-  if (selected("distill_train")) results.push_back(bench_distill_train(config));
+  using tensor::KernelMode;
+  const bool fast_ok = tensor::vector_kernels_available();
+  if (selected("gemm_nn"))
+    results.push_back(bench_gemm_nn(config, "gemm_nn",
+                                    KernelMode::kDeterministic));
+  if (selected("gemm_nn_fast") && fast_ok)
+    results.push_back(bench_gemm_nn(config, "gemm_nn_fast", KernelMode::kFast));
+  if (selected("conv_forward"))
+    results.push_back(bench_conv_forward(config, "conv_forward",
+                                         KernelMode::kDeterministic));
+  if (selected("conv_forward_fast") && fast_ok)
+    results.push_back(bench_conv_forward(config, "conv_forward_fast",
+                                         KernelMode::kFast));
+  if (selected("conv_backward"))
+    results.push_back(bench_conv_backward(config, "conv_backward",
+                                          KernelMode::kDeterministic));
+  if (selected("conv_backward_fast") && fast_ok)
+    results.push_back(bench_conv_backward(config, "conv_backward_fast",
+                                          KernelMode::kFast));
+  if (selected("distill_train"))
+    results.push_back(bench_distill_train(config, "distill_train",
+                                          KernelMode::kDeterministic));
+  if (selected("distill_train_fast") && fast_ok)
+    results.push_back(bench_distill_train(config, "distill_train_fast",
+                                          KernelMode::kFast));
+  if (!fast_ok && !config.quiet &&
+      (selected("gemm_nn_fast") || selected("conv_forward_fast") ||
+       selected("conv_backward_fast") || selected("distill_train_fast")))
+    std::fprintf(stderr,
+                 "skipping *_fast kernel benches: AVX2/FMA unavailable (%s)\n",
+                 tensor::vector_kernels_compiled() ? "cpu" : "build");
   if (selected("span_overhead_disabled"))
     results.push_back(bench_span_overhead_disabled(config));
   if (selected("span_overhead_enabled"))
@@ -512,6 +576,21 @@ int run_perf_suite(const PerfSuiteConfig& config) {
     std::fprintf(stderr, "no benchmark matches filter '%s'\n",
                  config.filter.c_str());
     return 2;
+  }
+
+  // Stamp every `<name>_fast` record with its same-run advantage over the
+  // deterministic `<name>` bench, so the committed fast baselines carry the
+  // measured ratio, not just absolute times.
+  for (PerfStats& fast : results) {
+    const std::string suffix = "_fast";
+    if (fast.name.size() <= suffix.size() ||
+        fast.name.compare(fast.name.size() - suffix.size(), suffix.size(),
+                          suffix) != 0)
+      continue;
+    const std::string base = fast.name.substr(0, fast.name.size() - suffix.size());
+    for (const PerfStats& det : results)
+      if (det.name == base && fast.p50 > 0.0)
+        fast.speedup_vs_deterministic = det.p50 / fast.p50;
   }
 
   for (const PerfStats& stats : results) {

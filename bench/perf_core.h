@@ -29,6 +29,11 @@ struct PerfStats {
   double min = 0.0;
   double max = 0.0;
   double throughput_per_s = 0.0;  // repetitions / total measured time
+  // For `<name>_fast` kernel benches only: deterministic p50 / fast p50 of
+  // the same run (>1 means the vector kernels won). 0 = not applicable;
+  // serialized into the baseline JSON so the committed record shows the
+  // measured advantage next to the absolute numbers.
+  double speedup_vs_deterministic = 0.0;
 };
 
 /// Runs `fn` warmup times untimed, then `repetitions` times timed, and

@@ -4,6 +4,10 @@
 //                [--repetitions N] [--warmup N] [--episodes N]
 //                [--threshold FRAC]
 //
+// --filter matches by substring; end it with '$' for an exact name match
+// (e.g. --filter 'distill_train$' runs the deterministic bench without its
+// `distill_train_fast` sibling).
+//
 // Times the hot paths (decision-engine inference, branch-search rollout,
 // transport round-trip, emulated frame, span bookkeeping) and writes one
 // canonical BENCH_<name>.json per benchmark. With --compare it exits 1 when

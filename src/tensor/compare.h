@@ -1,0 +1,59 @@
+// Tolerance comparison for kernels validated by error bound instead of
+// bit-equality — the vector fast mode today, a NEON port tomorrow. The
+// deterministic kernels keep their bitwise contract (kernel_test compares
+// them with raw bit equality); this helper is for everything that is allowed
+// to round differently but must stay numerically close to tensor::reference.
+//
+// compare_close() reports the maximum relative error and the maximum ULP
+// distance with their indices, plus the first out-of-tolerance element with
+// both values, so a failing kernel test says *where* and *by how much* in
+// one line (CompareResult::summary()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace cadmc::tensor {
+
+/// Units-in-the-last-place distance between two floats, via the standard
+/// monotone mapping of IEEE-754 bit patterns onto a signed integer line.
+/// 0 iff the values compare equal (+0 and -0 are 0 apart); any NaN on
+/// either side returns UINT64_MAX — kernels must never produce NaN, so a
+/// NaN is an automatic mismatch rather than an "equal" pair.
+std::uint64_t ulp_distance(float a, float b);
+
+/// |got - want| <= abs_tol + rel_tol * |want|, elementwise.
+struct CompareTolerance {
+  double rel_tol = 1e-5;
+  double abs_tol = 1e-6;
+};
+
+struct CompareResult {
+  bool ok = true;             // every element within tolerance
+  std::int64_t count = 0;     // elements compared
+  std::int64_t mismatches = 0;  // elements beyond tolerance
+  std::int64_t first_mismatch = -1;  // index of the first such element
+  float first_got = 0.0f;     // values at first_mismatch (valid when >= 0)
+  float first_want = 0.0f;
+  double max_rel_error = 0.0;  // max |got-want|/max(|want|, tiny) over all
+  std::int64_t max_rel_index = -1;
+  std::uint64_t max_ulp = 0;   // max ulp_distance over all elements
+  std::int64_t max_ulp_index = -1;
+
+  /// One-line human report: "ok" / "FAIL", max rel/ulp with indices, and
+  /// the first mismatching pair when there is one.
+  std::string summary() const;
+};
+
+/// Elementwise comparison of two float buffers of length n.
+CompareResult compare_close(const float* got, const float* want,
+                            std::int64_t n, const CompareTolerance& tol);
+
+/// Tensor overload; a shape mismatch returns ok=false with count=-1 and a
+/// summary saying so (never throws — test helpers should report, not abort).
+CompareResult compare_close(const Tensor& got, const Tensor& want,
+                            const CompareTolerance& tol);
+
+}  // namespace cadmc::tensor

@@ -1,0 +1,104 @@
+#include "tensor/kernel_mode.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "tensor/ops_vector.h"
+#include "util/logging.h"
+
+namespace cadmc::tensor {
+
+namespace {
+
+// -1 = no override; otherwise a KernelMode value.
+std::atomic<int> g_mode_override{-1};
+
+// Generation counter so reset_kernel_mode() can invalidate the cached env
+// parse (tests flip the environment between resets; production reads the
+// env exactly once).
+std::atomic<int> g_env_generation{0};
+
+KernelMode env_mode() {
+  const char* env = std::getenv("CADMC_KERNEL_MODE");
+  if (!env || !*env) return KernelMode::kDeterministic;
+  const auto parsed = parse_kernel_mode(env);
+  if (!parsed) {
+    static std::once_flag warned;
+    std::call_once(warned, [&] {
+      util::log_warn() << "ignoring invalid CADMC_KERNEL_MODE='" << env
+                       << "' (expected deterministic|fast)";
+    });
+    return KernelMode::kDeterministic;
+  }
+  return *parsed;
+}
+
+KernelMode cached_env_mode() {
+  static std::mutex mutex;
+  static int cached_generation = -1;
+  static KernelMode cached = KernelMode::kDeterministic;
+  const int generation = g_env_generation.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex);
+  if (cached_generation != generation) {
+    cached = env_mode();
+    cached_generation = generation;
+  }
+  return cached;
+}
+
+}  // namespace
+
+std::optional<KernelMode> parse_kernel_mode(std::string_view name) {
+  if (name == "deterministic") return KernelMode::kDeterministic;
+  if (name == "fast") return KernelMode::kFast;
+  return std::nullopt;
+}
+
+const char* kernel_mode_name(KernelMode mode) {
+  return mode == KernelMode::kFast ? "fast" : "deterministic";
+}
+
+bool vector_kernels_compiled() { return vec::compiled(); }
+
+bool vector_kernels_supported() { return vec::cpu_supported(); }
+
+bool vector_kernels_available() {
+  // The cpuid answer never changes within a process; cache it so the
+  // per-kernel-call dispatch is one relaxed load.
+  static const bool available = vec::compiled() && vec::cpu_supported();
+  return available;
+}
+
+void set_kernel_mode(KernelMode mode) {
+  g_mode_override.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void reset_kernel_mode() {
+  g_mode_override.store(-1, std::memory_order_relaxed);
+  g_env_generation.fetch_add(1, std::memory_order_relaxed);
+}
+
+KernelMode requested_kernel_mode() {
+  const int override_mode = g_mode_override.load(std::memory_order_relaxed);
+  if (override_mode >= 0) return static_cast<KernelMode>(override_mode);
+  return cached_env_mode();
+}
+
+KernelMode kernel_mode() {
+  const KernelMode requested = requested_kernel_mode();
+  if (requested == KernelMode::kFast && !vector_kernels_available()) {
+    static std::once_flag warned;
+    std::call_once(warned, [] {
+      util::log_warn() << "fast kernel mode requested but AVX2/FMA is "
+                       << (vector_kernels_compiled() ? "not supported by this CPU"
+                                                     : "not compiled into this build")
+                       << "; falling back to deterministic kernels";
+    });
+    return KernelMode::kDeterministic;
+  }
+  return requested;
+}
+
+}  // namespace cadmc::tensor

@@ -16,6 +16,11 @@
 //    per-thread tensor::ScratchArena; fan-out runs on util::parallel_for
 //    with every output element owned by exactly one task, which is what
 //    makes results bit-identical for any thread count.
+//  * Kernel-mode dispatch: kernel_mode() == kFast routes the GEMM column
+//    tasks, the depthwise planes and the conv-backward inner loops to the
+//    vectorized fp32 kernels in ops_avx2.cpp (vec::*). The mode is resolved
+//    once per public entry point, so one call never mixes modes; im2col,
+//    the col2im gather structure and all task ownership stay shared.
 #include "tensor/ops.h"
 
 #include <algorithm>
@@ -24,7 +29,10 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "tensor/kernel_mode.h"
 #include "tensor/ops_detail.h"
+#include "tensor/ops_vector.h"
 #include "tensor/scratch.h"
 #include "util/thread_pool.h"
 
@@ -32,16 +40,14 @@ namespace cadmc::tensor {
 
 namespace {
 
+using detail::BLayout;
 using detail::ConvDims;
-
-constexpr int kNR = 8;       // micro-kernel panel width (columns of C)
-constexpr int kJBlock = 64;  // columns per parallel task (multiple of kNR)
-// Rows below this skip panel packing (the pack cost would rival the math).
-constexpr int kPackMinRows = 4;
-// Multiply-adds below this run serially: pool dispatch costs more than it
-// saves. The threshold only picks serial-vs-parallel execution — results
-// are bit-identical either way.
-constexpr std::int64_t kParallelMinMacc = 1 << 16;
+using detail::kJBlock;
+using detail::kNR;
+using detail::kPackMinRows;
+using detail::kParallelMinMacc;
+using detail::pack_panel_kn;
+using detail::pack_panel_nk;
 
 void note_gemm_flops(std::int64_t macc) {
   if (obs::enabled()) obs::count("cadmc.kernel.gemm_flops", 2 * macc);
@@ -51,31 +57,7 @@ void note_im2col_bytes(std::int64_t bytes) {
   if (obs::enabled()) obs::count("cadmc.kernel.im2col_bytes", bytes);
 }
 
-// How B is laid out in memory: kRowMajorKN is B[k][n] (matmul, matmul_tn,
-// im2col columns), kRowMajorNK is B[n][k] (matmul_nt).
-enum class BLayout { kRowMajorKN, kRowMajorNK };
-
-// panel[kk*jw + jj] = B(kk, j0+jj) for a B[k][ldb] row-major operand.
-void pack_panel_kn(const float* __restrict src, int ldb, int k, int j0,
-                   int jw, float* __restrict dst) {
-  for (int kk = 0; kk < k; ++kk) {
-    const float* __restrict s =
-        src + static_cast<std::ptrdiff_t>(kk) * ldb + j0;
-    float* __restrict p = dst + static_cast<std::ptrdiff_t>(kk) * jw;
-    for (int jj = 0; jj < jw; ++jj) p[jj] = s[jj];
-  }
-}
-
-// panel[kk*jw + jj] = B(j0+jj, kk) for a B[n][ldb] row-major operand (NT).
-void pack_panel_nk(const float* __restrict src, int ldb, int k, int j0,
-                   int jw, float* __restrict dst) {
-  for (int jj = 0; jj < jw; ++jj) {
-    const float* __restrict s =
-        src + static_cast<std::ptrdiff_t>(j0 + jj) * ldb;
-    for (int kk = 0; kk < k; ++kk)
-      dst[static_cast<std::ptrdiff_t>(kk) * jw + jj] = s[kk];
-  }
-}
+bool fast_mode() { return kernel_mode() == KernelMode::kFast; }
 
 // One C-row x B-panel update:
 //   c[jj] = float(init + sum_{kk ascending} a[kk] * panel[kk*jw + jj])
@@ -108,9 +90,16 @@ void micro_kernel(const float* __restrict a, const float* __restrict panel,
 // Computes C[i][j0..j1) for every row i, with A rows contiguous (lda >= k).
 // row_init may be null (zero init) or point at m per-row initial values
 // (conv bias). Runs inside one parallel task; only touches its own columns.
-void gemm_columns(const float* a, int lda, const float* b, int ldb,
+// `fast` selects the vectorized fp32 kernels — resolved by the caller once
+// per public op, never inside the task, so one call never mixes modes.
+void gemm_columns(bool fast, const float* a, int lda, const float* b, int ldb,
                   BLayout layout, int m, int k, const float* row_init,
                   float* c, int ldc, int jbegin, int jend) {
+  if (fast) {
+    vec::gemm_columns_f32(a, lda, b, ldb, layout, m, k, row_init, c, ldc,
+                          jbegin, jend);
+    return;
+  }
   ScratchArena& arena = ScratchArena::local();
   if (m >= kPackMinRows) {
     for (int j0 = jbegin; j0 < jend; j0 += kNR) {
@@ -173,6 +162,7 @@ void gemm_blocked(const float* a, int lda, const float* b, int ldb,
                   BLayout layout, int m, int n, int k, const float* row_init,
                   float* c, int ldc) {
   note_gemm_flops(static_cast<std::int64_t>(m) * n * k);
+  const bool fast = fast_mode();
   const int jblocks = (n + kJBlock - 1) / kJBlock;
   const bool parallel =
       jblocks > 1 &&
@@ -181,8 +171,8 @@ void gemm_blocked(const float* a, int lda, const float* b, int ldb,
                         [&](std::size_t jb) {
                           const int jbegin = static_cast<int>(jb) * kJBlock;
                           const int jend = std::min(n, jbegin + kJBlock);
-                          gemm_columns(a, lda, b, ldb, layout, m, k, row_init,
-                                       c, ldc, jbegin, jend);
+                          gemm_columns(fast, a, lda, b, ldb, layout, m, k,
+                                       row_init, c, ldc, jbegin, jend);
                         });
 }
 
@@ -290,6 +280,7 @@ void depthwise_forward(const float* in, const float* wgt, const float* bs,
                        const ConvDims& d, const Conv2dSpec& spec, float* out) {
   const int hw = d.h * d.w;
   const int ksq = d.k * d.k;
+  const bool fast = fast_mode();
   const std::size_t planes = static_cast<std::size_t>(d.n) * d.co;
   const bool parallel =
       planes > 1 && static_cast<std::int64_t>(planes) * d.how * ksq >=
@@ -304,6 +295,11 @@ void depthwise_forward(const float* in, const float* wgt, const float* bs,
         wgt + static_cast<std::ptrdiff_t>(c) * ksq;
     float* __restrict o =
         out + (static_cast<std::ptrdiff_t>(b) * d.co + c) * d.how;
+    if (fast) {
+      vec::depthwise_plane_f32(plane, wrow, bs ? bs[c] : 0.0f, d.h, d.w,
+                               d.ho, d.wo, d.k, spec.stride, spec.padding, o);
+      return;
+    }
     const double init = bs ? static_cast<double>(bs[c]) : 0.0;
     for (int oy = 0; oy < d.ho; ++oy) {
       for (int ox = 0; ox < d.wo; ++ox) {
@@ -415,6 +411,7 @@ void depthwise_backward(const float* in, const float* wgt, const float* go,
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
+  CADMC_SPAN("kernel_gemm");
   detail::check_rank2(a, "matmul a");
   detail::check_rank2(b, "matmul b");
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
@@ -426,6 +423,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  CADMC_SPAN("kernel_gemm");
   detail::check_rank2(a, "matmul_tn a");
   detail::check_rank2(b, "matmul_tn b");
   const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
@@ -447,6 +445,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  CADMC_SPAN("kernel_gemm");
   detail::check_rank2(a, "matmul_nt a");
   detail::check_rank2(b, "matmul_nt b");
   const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
@@ -465,6 +464,7 @@ int conv_out_size(int in, int kernel, int stride, int padding) {
 
 Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               const Conv2dSpec& spec) {
+  CADMC_SPAN("kernel_conv_forward");
   const ConvDims d = detail::check_conv_args(input, weight, bias, spec);
   Tensor out({d.n, d.co, d.ho, d.wo});
   const float* in = input.data().data();
@@ -480,6 +480,7 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   const ColMatrix col = build_col_matrix(in, d, spec);
   note_gemm_flops(static_cast<std::int64_t>(d.n) * d.groups * d.co_per_g *
                   d.how * d.kk);
+  const bool fast = fast_mode();
   const int jblocks = (d.how + kJBlock - 1) / kJBlock;
   const std::size_t tasks =
       static_cast<std::size_t>(d.n) * d.groups * jblocks;
@@ -496,7 +497,8 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
     const int jend = std::min(d.how, jbegin + kJBlock);
     // Weight rows of group g are contiguous [co_per_g][kk]; C rows are the
     // output channel planes of (b, g).
-    gemm_columns(wgt + static_cast<std::ptrdiff_t>(g) * d.co_per_g * d.kk,
+    gemm_columns(fast,
+                 wgt + static_cast<std::ptrdiff_t>(g) * d.co_per_g * d.kk,
                  d.kk, col.slice(b, g, d.groups), d.how,
                  BLayout::kRowMajorKN, d.co_per_g, d.kk,
                  bs ? bs + static_cast<std::ptrdiff_t>(g) * d.co_per_g
@@ -512,6 +514,7 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
 Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
                             bool has_bias, const Tensor& grad_out,
                             const Conv2dSpec& spec) {
+  CADMC_SPAN("kernel_conv_backward");
   const ConvDims d = detail::check_conv_args(
       input, weight, has_bias ? Tensor({weight.dim(0)}) : Tensor(), spec);
   if (grad_out.rank() != 4 || grad_out.dim(0) != d.n ||
@@ -535,10 +538,12 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
 
   const ColMatrix col = build_col_matrix(in, d, spec);
   const int hw = d.h * d.w;
+  const bool fast = fast_mode();
 
   // dbias + dweight: one task per output channel. dW row oc is kk dots of
   // grad_out row (b, oc) against col rows, batch-major — the (b, j) operand
-  // order of the reference.
+  // order of the reference. Fast mode runs the same dots as fp32 FMA
+  // reductions (vec::dot_f32); dbias stays a double sum in both modes.
   float* dw = grads.weight.data().data();
   float* dbias = has_bias ? grads.bias.data().data() : nullptr;
   note_gemm_flops(static_cast<std::int64_t>(d.n) * d.co * d.kk * d.how);
@@ -560,6 +565,17 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
     }
     float* __restrict dwrow = dw + static_cast<std::ptrdiff_t>(oc) * d.kk;
     for (int kk = 0; kk < d.kk; ++kk) {
+      if (fast) {
+        float acc = 0.0f;
+        for (int b = 0; b < d.n; ++b)
+          acc += vec::dot_f32(
+              go + (static_cast<std::ptrdiff_t>(b) * d.co + oc) * d.how,
+              col.slice(b, g, d.groups) +
+                  static_cast<std::ptrdiff_t>(kk) * d.how,
+              d.how);
+        dwrow[kk] = acc;
+        continue;
+      }
       double acc = 0.0;
       for (int b = 0; b < d.n; ++b) {
         const float* __restrict gorow =
@@ -590,10 +606,20 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
     const int g = static_cast<int>(t) % d.groups;
     const int b = static_cast<int>(t) / d.groups;
     ScratchArena& arena = ScratchArena::local();
-    const auto dcol = arena.doubles(
-        ScratchArena::kColGrad,
-        static_cast<std::size_t>(d.kk) * static_cast<std::size_t>(d.how));
-    std::fill(dcol.begin(), dcol.end(), 0.0);
+    const std::size_t dcol_elems =
+        static_cast<std::size_t>(d.kk) * static_cast<std::size_t>(d.how);
+    // Fast mode keeps the dcol buffer in fp32 (vec::axpy_f32 FMA updates);
+    // the deterministic mode keeps its double-precision contract. The float
+    // and double slots of the arena never alias.
+    std::span<double> dcol_d;
+    std::span<float> dcol_f;
+    if (fast) {
+      dcol_f = arena.floats(ScratchArena::kColGrad, dcol_elems);
+      std::fill(dcol_f.begin(), dcol_f.end(), 0.0f);
+    } else {
+      dcol_d = arena.doubles(ScratchArena::kColGrad, dcol_elems);
+      std::fill(dcol_d.begin(), dcol_d.end(), 0.0);
+    }
     for (int ocg = 0; ocg < d.co_per_g; ++ocg) {
       const int oc = g * d.co_per_g + ocg;
       const float* __restrict wrow =
@@ -601,40 +627,54 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
       const float* __restrict gorow =
           go + (static_cast<std::ptrdiff_t>(b) * d.co + oc) * d.how;
       for (int kk = 0; kk < d.kk; ++kk) {
+        if (fast) {
+          vec::axpy_f32(wrow[kk], gorow,
+                        dcol_f.data() + static_cast<std::ptrdiff_t>(kk) * d.how,
+                        d.how);
+          continue;
+        }
         const double av = wrow[kk];
         double* __restrict drow =
-            dcol.data() + static_cast<std::ptrdiff_t>(kk) * d.how;
+            dcol_d.data() + static_cast<std::ptrdiff_t>(kk) * d.how;
         for (int j = 0; j < d.how; ++j) drow[j] += av * gorow[j];
       }
     }
-    for (int icg = 0; icg < d.cig; ++icg) {
-      const int ic = g * d.cig + icg;
-      float* __restrict dplane =
-          din + (static_cast<std::ptrdiff_t>(b) * d.ci + ic) * hw;
-      for (int iy = 0; iy < d.h; ++iy) {
-        for (int ix = 0; ix < d.w; ++ix) {
-          double acc = 0.0;
-          for (int ky = 0; ky < d.k; ++ky) {
-            const int oy_num = iy + spec.padding - ky;
-            if (oy_num < 0 || oy_num % spec.stride != 0) continue;
-            const int oy = oy_num / spec.stride;
-            if (oy >= d.ho) continue;
-            for (int kx = 0; kx < d.k; ++kx) {
-              const int ox_num = ix + spec.padding - kx;
-              if (ox_num < 0 || ox_num % spec.stride != 0) continue;
-              const int ox = ox_num / spec.stride;
-              if (ox >= d.wo) continue;
-              acc += dcol[(static_cast<std::size_t>(icg) * d.k * d.k +
-                           static_cast<std::size_t>(ky) * d.k + kx) *
-                              d.how +
-                          static_cast<std::size_t>(oy) * d.wo + ox];
+    // col2im gather: shared between modes; only the dcol element type
+    // differs (the per-element sum of <= k*k taps stays double in both).
+    const auto gather = [&](const auto* dcol) {
+      for (int icg = 0; icg < d.cig; ++icg) {
+        const int ic = g * d.cig + icg;
+        float* __restrict dplane =
+            din + (static_cast<std::ptrdiff_t>(b) * d.ci + ic) * hw;
+        for (int iy = 0; iy < d.h; ++iy) {
+          for (int ix = 0; ix < d.w; ++ix) {
+            double acc = 0.0;
+            for (int ky = 0; ky < d.k; ++ky) {
+              const int oy_num = iy + spec.padding - ky;
+              if (oy_num < 0 || oy_num % spec.stride != 0) continue;
+              const int oy = oy_num / spec.stride;
+              if (oy >= d.ho) continue;
+              for (int kx = 0; kx < d.k; ++kx) {
+                const int ox_num = ix + spec.padding - kx;
+                if (ox_num < 0 || ox_num % spec.stride != 0) continue;
+                const int ox = ox_num / spec.stride;
+                if (ox >= d.wo) continue;
+                acc += dcol[(static_cast<std::size_t>(icg) * d.k * d.k +
+                             static_cast<std::size_t>(ky) * d.k + kx) *
+                                d.how +
+                            static_cast<std::size_t>(oy) * d.wo + ox];
+              }
             }
+            dplane[static_cast<std::ptrdiff_t>(iy) * d.w + ix] =
+                static_cast<float>(acc);
           }
-          dplane[static_cast<std::ptrdiff_t>(iy) * d.w + ix] =
-              static_cast<float>(acc);
         }
       }
-    }
+    };
+    if (fast)
+      gather(dcol_f.data());
+    else
+      gather(dcol_d.data());
   });
   return grads;
 }

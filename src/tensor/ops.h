@@ -10,17 +10,26 @@
 // tensor::ScratchArena so repeated calls reuse buffers. Work is spread over
 // util::parallel_for.
 //
-// Accumulation-precision policy (applies to every kernel in this header):
-// each output element is one double-precision accumulator, summed in a
-// fixed, documented operand order and rounded to float exactly once at the
-// end. For matmul/matmul_tn/matmul_nt that order is k ascending; for conv2d
-// it is (in-group channel, ky, kx) ascending with zero-padded taps included
-// as explicit +0.0 terms and the bias as the accumulator's initial value;
-// for the backward kernels see ops_reference.cpp, whose naive loops *define*
+// Accumulation-precision policy (applies to every kernel in this header,
+// in the default deterministic mode): each output element is one
+// double-precision accumulator, summed in a fixed, documented operand order
+// and rounded to float exactly once at the end. For
+// matmul/matmul_tn/matmul_nt that order is k ascending; for conv2d it is
+// (in-group channel, ky, kx) ascending with zero-padded taps included as
+// explicit +0.0 terms and the bias as the accumulator's initial value; for
+// the backward kernels see ops_reference.cpp, whose naive loops *define*
 // the operand order. Because the order is per-element and never split across
 // tasks, results are bit-identical to the reference kernels, identical for
 // any thread count, and identical across the fast paths (the parity suite
 // `ctest -L kernel` asserts all three).
+//
+// A second kernel mode exists (tensor/kernel_mode.h): `fast` swaps the
+// double accumulators for AVX2/FMA fp32 vector kernels, validated against
+// tensor::reference by tolerance (tensor/compare.h) instead of
+// bit-equality. The mode is resolved once per op entry and task ownership
+// is unchanged, so fast results are still bit-identical across thread
+// counts — only the deterministic-vs-reference bitwise guarantee is traded
+// for speed.
 //
 // The paper's latency numbers still come from the analytic model in
 // src/latency, not from wall clock of these kernels — but these kernels are

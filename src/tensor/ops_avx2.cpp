@@ -1,0 +1,259 @@
+// Vectorized fp32 fast-mode kernels (AVX2 + FMA). This translation unit is
+// the only one compiled with -mavx2 -mfma (see src/CMakeLists.txt), so every
+// function here must stay behind the vec::available() runtime gate — on a
+// CPU without AVX2 the dispatcher in ops.cpp never calls in.
+//
+// Numerical contract: fp32 accumulation, one 8-lane FMA per (element, k)
+// term, k ascending — the same operand order as the deterministic kernels
+// with the double accumulator narrowed to float. Each output element is
+// produced by exactly one caller task, so fast-mode results are bitwise
+// invariant to thread count even though they differ from tensor::reference
+// by rounding (bounded by the tolerance suite in kernel_test).
+//
+// The kNR(=8)-column B-panel maps directly onto one ymm register column:
+// the micro-kernel holds 4 C-rows x 8 C-columns in four accumulators and
+// broadcasts one A element per row per k step.
+#include "tensor/ops_vector.h"
+
+#include <stdexcept>
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "tensor/scratch.h"
+
+namespace cadmc::tensor::vec {
+
+bool compiled() { return true; }
+
+bool cpu_supported() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool available() { return cpu_supported(); }
+
+namespace {
+
+using detail::kNR;
+
+// Full-width panels start 64-byte aligned (ScratchArena::kAlignment) and
+// every row is kNR floats = 32 bytes, so aligned loads are safe.
+inline __m256 panel_row(const float* panel, int kk) {
+  return _mm256_load_ps(panel + static_cast<std::ptrdiff_t>(kk) * kNR);
+}
+
+// C[i..i+4)[j0..j0+8): four row accumulators against one packed panel.
+void micro_4x8(const float* __restrict a, int lda,
+               const float* __restrict panel, int k, const float* row_init,
+               int i, float* __restrict c, int ldc, int j0) {
+  const float* __restrict a0 = a + static_cast<std::ptrdiff_t>(i) * lda;
+  const float* __restrict a1 = a0 + lda;
+  const float* __restrict a2 = a1 + lda;
+  const float* __restrict a3 = a2 + lda;
+  __m256 acc0 = row_init ? _mm256_set1_ps(row_init[i]) : _mm256_setzero_ps();
+  __m256 acc1 =
+      row_init ? _mm256_set1_ps(row_init[i + 1]) : _mm256_setzero_ps();
+  __m256 acc2 =
+      row_init ? _mm256_set1_ps(row_init[i + 2]) : _mm256_setzero_ps();
+  __m256 acc3 =
+      row_init ? _mm256_set1_ps(row_init[i + 3]) : _mm256_setzero_ps();
+  for (int kk = 0; kk < k; ++kk) {
+    const __m256 bv = panel_row(panel, kk);
+    acc0 = _mm256_fmadd_ps(_mm256_set1_ps(a0[kk]), bv, acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_set1_ps(a1[kk]), bv, acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_set1_ps(a2[kk]), bv, acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_set1_ps(a3[kk]), bv, acc3);
+  }
+  float* crow = c + static_cast<std::ptrdiff_t>(i) * ldc + j0;
+  _mm256_storeu_ps(crow, acc0);
+  _mm256_storeu_ps(crow + ldc, acc1);
+  _mm256_storeu_ps(crow + 2 * static_cast<std::ptrdiff_t>(ldc), acc2);
+  _mm256_storeu_ps(crow + 3 * static_cast<std::ptrdiff_t>(ldc), acc3);
+}
+
+// One C-row against a full kNR panel.
+void micro_1x8(const float* __restrict arow, const float* __restrict panel,
+               int k, float init, float* __restrict crow) {
+  __m256 acc = _mm256_set1_ps(init);
+  for (int kk = 0; kk < k; ++kk)
+    acc = _mm256_fmadd_ps(_mm256_set1_ps(arow[kk]), panel_row(panel, kk), acc);
+  _mm256_storeu_ps(crow, acc);
+}
+
+// Ragged panel tail (jw < kNR): scalar fp32 in the same element order.
+void micro_tail(const float* __restrict arow, const float* __restrict panel,
+                int k, int jw, float init, float* __restrict crow) {
+  float acc[kNR];
+  for (int jj = 0; jj < jw; ++jj) acc[jj] = init;
+  for (int kk = 0; kk < k; ++kk) {
+    const float av = arow[kk];
+    const float* __restrict brow =
+        panel + static_cast<std::ptrdiff_t>(kk) * jw;
+    for (int jj = 0; jj < jw; ++jj) acc[jj] += av * brow[jj];
+  }
+  for (int jj = 0; jj < jw; ++jj) crow[jj] = acc[jj];
+}
+
+}  // namespace
+
+void gemm_columns_f32(const float* a, int lda, const float* b, int ldb,
+                      detail::BLayout layout, int m, int k,
+                      const float* row_init, float* c, int ldc, int jbegin,
+                      int jend) {
+  ScratchArena& arena = ScratchArena::local();
+  if (m >= detail::kPackMinRows) {
+    for (int j0 = jbegin; j0 < jend; j0 += kNR) {
+      const int jw = std::min(kNR, jend - j0);
+      const auto panel = arena.floats(
+          ScratchArena::kPanel, static_cast<std::size_t>(k) * jw);
+      if (layout == detail::BLayout::kRowMajorKN)
+        detail::pack_panel_kn(b, ldb, k, j0, jw, panel.data());
+      else
+        detail::pack_panel_nk(b, ldb, k, j0, jw, panel.data());
+      if (jw == kNR) {
+        int i = 0;
+        for (; i + 4 <= m; i += 4)
+          micro_4x8(a, lda, panel.data(), k, row_init, i, c, ldc, j0);
+        for (; i < m; ++i)
+          micro_1x8(a + static_cast<std::ptrdiff_t>(i) * lda, panel.data(), k,
+                    row_init ? row_init[i] : 0.0f,
+                    c + static_cast<std::ptrdiff_t>(i) * ldc + j0);
+      } else {
+        for (int i = 0; i < m; ++i)
+          micro_tail(a + static_cast<std::ptrdiff_t>(i) * lda, panel.data(),
+                     k, jw, row_init ? row_init[i] : 0.0f,
+                     c + static_cast<std::ptrdiff_t>(i) * ldc + j0);
+      }
+    }
+    return;
+  }
+  // Few rows: packing would cost as much as the math. KN streams B rows with
+  // in-place FMA on the C row (axpy style); NT rows are contiguous dots.
+  const int width = jend - jbegin;
+  if (layout == detail::BLayout::kRowMajorKN) {
+    for (int i = 0; i < m; ++i) {
+      float* __restrict crow =
+          c + static_cast<std::ptrdiff_t>(i) * ldc + jbegin;
+      const float init = row_init ? row_init[i] : 0.0f;
+      for (int jj = 0; jj < width; ++jj) crow[jj] = init;
+      const float* __restrict arow = a + static_cast<std::ptrdiff_t>(i) * lda;
+      for (int kk = 0; kk < k; ++kk)
+        axpy_f32(arow[kk], b + static_cast<std::ptrdiff_t>(kk) * ldb + jbegin,
+                 crow, width);
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      const float init = row_init ? row_init[i] : 0.0f;
+      const float* arow = a + static_cast<std::ptrdiff_t>(i) * lda;
+      float* crow = c + static_cast<std::ptrdiff_t>(i) * ldc;
+      for (int j = jbegin; j < jend; ++j)
+        crow[j] =
+            init + dot_f32(arow, b + static_cast<std::ptrdiff_t>(j) * ldb, k);
+    }
+  }
+}
+
+void depthwise_plane_f32(const float* plane, const float* taps, float bias,
+                         int h, int w, int ho, int wo, int k, int stride,
+                         int padding, float* out) {
+  for (int oy = 0; oy < ho; ++oy) {
+    float* __restrict orow = out + static_cast<std::ptrdiff_t>(oy) * wo;
+    for (int ox = 0; ox < wo; ++ox) orow[ox] = bias;
+    for (int ky = 0; ky < k; ++ky) {
+      const int iy = oy * stride + ky - padding;
+      if (iy < 0 || iy >= h) continue;
+      const float* __restrict irow =
+          plane + static_cast<std::ptrdiff_t>(iy) * w;
+      for (int kx = 0; kx < k; ++kx) {
+        const float tap = taps[ky * k + kx];
+        if (stride == 1) {
+          // Valid output columns: 0 <= ox + kx - padding < w.
+          const int lo = std::max(0, padding - kx);
+          const int hi = std::min(wo, w - kx + padding);
+          const float* __restrict src = irow + kx - padding;
+          const __m256 tv = _mm256_set1_ps(tap);
+          int ox = lo;
+          for (; ox + kNR <= hi; ox += kNR)
+            _mm256_storeu_ps(
+                orow + ox,
+                _mm256_fmadd_ps(tv, _mm256_loadu_ps(src + ox),
+                                _mm256_loadu_ps(orow + ox)));
+          for (; ox < hi; ++ox) orow[ox] += tap * src[ox];
+        } else {
+          for (int ox = 0; ox < wo; ++ox) {
+            const int ix = ox * stride + kx - padding;
+            if (ix >= 0 && ix < w)
+              orow[ox] += tap * irow[ix];
+          }
+        }
+      }
+    }
+  }
+}
+
+void axpy_f32(float a, const float* x, float* y, int n) {
+  const __m256 av = _mm256_set1_ps(a);
+  int j = 0;
+  for (; j + kNR <= n; j += kNR)
+    _mm256_storeu_ps(
+        y + j, _mm256_fmadd_ps(av, _mm256_loadu_ps(x + j),
+                               _mm256_loadu_ps(y + j)));
+  for (; j < n; ++j) y[j] += a * x[j];
+}
+
+float dot_f32(const float* x, const float* y, int n) {
+  __m256 acc = _mm256_setzero_ps();
+  int j = 0;
+  for (; j + kNR <= n; j += kNR)
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + j), _mm256_loadu_ps(y + j), acc);
+  // Fixed-order lane reduction keeps repeated calls bit-identical.
+  alignas(32) float lanes[kNR];
+  _mm256_store_ps(lanes, acc);
+  float total = ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5])) +
+                ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]));
+  for (; j < n; ++j) total += x[j] * y[j];
+  return total;
+}
+
+}  // namespace cadmc::tensor::vec
+
+#else  // !(__AVX2__ && __FMA__): stub build for non-x86 or old toolchains.
+
+namespace cadmc::tensor::vec {
+
+namespace {
+[[noreturn]] void not_compiled() {
+  throw std::logic_error(
+      "tensor::vec: vector kernels were not compiled into this build");
+}
+}  // namespace
+
+bool compiled() { return false; }
+bool cpu_supported() { return false; }
+bool available() { return false; }
+
+void gemm_columns_f32(const float*, int, const float*, int, detail::BLayout,
+                      int, int, const float*, float*, int, int, int) {
+  not_compiled();
+}
+
+void depthwise_plane_f32(const float*, const float*, float, int, int, int,
+                         int, int, int, int, float*) {
+  not_compiled();
+}
+
+void axpy_f32(float, const float*, float*, int) { not_compiled(); }
+
+float dot_f32(const float*, const float*, int) { not_compiled(); }
+
+}  // namespace cadmc::tensor::vec
+
+#endif

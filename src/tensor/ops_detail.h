@@ -1,14 +1,54 @@
-// Internal helpers shared by the blocked kernels (ops.cpp) and the naive
-// reference kernels (ops_reference.cpp): argument validation and the derived
-// convolution geometry. Not part of the public ops.h surface.
+// Internal helpers shared by the blocked kernels (ops.cpp), the vectorized
+// fast-mode kernels (ops_avx2.cpp) and the naive reference kernels
+// (ops_reference.cpp): argument validation, the derived convolution
+// geometry, and the GEMM blocking/panel-layout definitions. Not part of the
+// public ops.h surface.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 #include "tensor/ops.h"
 
 namespace cadmc::tensor::detail {
+
+// --- GEMM blocking parameters, shared by every kernel mode. --------------
+inline constexpr int kNR = 8;       // micro-kernel panel width (columns of C)
+inline constexpr int kJBlock = 64;  // columns per parallel task (multiple of kNR)
+// Rows below this skip panel packing (the pack cost would rival the math).
+inline constexpr int kPackMinRows = 4;
+// Multiply-adds below this run serially: pool dispatch costs more than it
+// saves. The threshold only picks serial-vs-parallel execution — results
+// are identical either way (bitwise per mode).
+inline constexpr std::int64_t kParallelMinMacc = 1 << 16;
+
+// How B is laid out in memory: kRowMajorKN is B[k][n] (matmul, matmul_tn,
+// im2col columns), kRowMajorNK is B[n][k] (matmul_nt).
+enum class BLayout { kRowMajorKN, kRowMajorNK };
+
+// panel[kk*jw + jj] = B(kk, j0+jj) for a B[k][ldb] row-major operand.
+inline void pack_panel_kn(const float* __restrict src, int ldb, int k, int j0,
+                          int jw, float* __restrict dst) {
+  for (int kk = 0; kk < k; ++kk) {
+    const float* __restrict s =
+        src + static_cast<std::ptrdiff_t>(kk) * ldb + j0;
+    float* __restrict p = dst + static_cast<std::ptrdiff_t>(kk) * jw;
+    for (int jj = 0; jj < jw; ++jj) p[jj] = s[jj];
+  }
+}
+
+// panel[kk*jw + jj] = B(j0+jj, kk) for a B[n][ldb] row-major operand (NT).
+inline void pack_panel_nk(const float* __restrict src, int ldb, int k, int j0,
+                          int jw, float* __restrict dst) {
+  for (int jj = 0; jj < jw; ++jj) {
+    const float* __restrict s =
+        src + static_cast<std::ptrdiff_t>(j0 + jj) * ldb;
+    for (int kk = 0; kk < k; ++kk)
+      dst[static_cast<std::ptrdiff_t>(kk) * jw + jj] = s[kk];
+  }
+}
 
 inline void check_rank2(const Tensor& t, const char* name) {
   if (t.rank() != 2)

@@ -1,0 +1,57 @@
+// Internal entry points of the vectorized fp32 fast-mode kernels
+// (ops_avx2.cpp, compiled with -mavx2 -mfma when the toolchain supports
+// them). Not part of the public ops.h surface — dispatch happens inside
+// ops.cpp, gated on tensor::kernel_mode() == KernelMode::kFast, which in
+// turn folds in vec::available().
+//
+// Contract (weaker than the deterministic kernels, still strict):
+//  * fp32 accumulation with 8-lane FMA; validated against tensor::reference
+//    by tolerance (tensor/compare.h), not bitwise.
+//  * Every output element is still produced by exactly one caller task in a
+//    fixed operand order, so results are bit-identical across thread counts
+//    and across repeated runs on the same machine — only the deterministic
+//    mode's cross-mode bitwise guarantee is relaxed.
+//  * The callable functions below must only run when available() is true;
+//    the non-AVX2 build stubs throw std::logic_error if reached.
+#pragma once
+
+#include "tensor/ops_detail.h"
+
+namespace cadmc::tensor::vec {
+
+/// True when this translation unit was compiled with AVX2+FMA codegen.
+bool compiled();
+
+/// True when the running CPU reports AVX2 and FMA (cpuid).
+bool cpu_supported();
+
+/// compiled() && cpu_supported().
+bool available();
+
+/// Fast-mode analogue of the scalar gemm_columns: computes
+/// C[i][jbegin..jend) for every row i with fp32 FMA accumulation,
+/// k ascending. `row_init` may be null (zero init) or m per-row initial
+/// values (conv bias). Packs B-panels from this thread's ScratchArena; safe
+/// to run inside one parallel task (touches only its own columns).
+void gemm_columns_f32(const float* a, int lda, const float* b, int ldb,
+                      detail::BLayout layout, int m, int k,
+                      const float* row_init, float* c, int ldc, int jbegin,
+                      int jend);
+
+/// One depthwise-convolution output plane (single batch, single channel):
+/// out[ho*wo] from plane[h*w] and the channel's k*k taps, (ky,kx) ascending
+/// fp32 accumulation with `bias` as the initial value. Stride-1 interiors
+/// run 8-wide FMA rows; boundaries and strided cases fall back to scalar
+/// fp32 within the same element order.
+void depthwise_plane_f32(const float* plane, const float* taps, float bias,
+                         int h, int w, int ho, int wo, int k, int stride,
+                         int padding, float* out);
+
+/// y[j] += a * x[j] for j in [0, n) — the conv-backward dcol update.
+void axpy_f32(float a, const float* x, float* y, int n);
+
+/// Sum_j x[j]*y[j] with 8-lane FMA partials reduced in a fixed lane order —
+/// the conv-backward dweight row dot.
+float dot_f32(const float* x, const float* y, int n);
+
+}  // namespace cadmc::tensor::vec

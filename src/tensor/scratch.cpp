@@ -1,54 +1,81 @@
 #include "tensor/scratch.h"
 
+#include <new>
+
 #include "obs/metrics.h"
 
 namespace cadmc::tensor {
+
+namespace {
+
+void free_aligned(std::byte* p) {
+  ::operator delete[](p, std::align_val_t{ScratchArena::kAlignment});
+}
+
+std::byte* alloc_aligned(std::size_t bytes) {
+  return static_cast<std::byte*>(
+      ::operator new[](bytes, std::align_val_t{ScratchArena::kAlignment}));
+}
+
+}  // namespace
 
 ScratchArena& ScratchArena::local() {
   thread_local ScratchArena arena;
   return arena;
 }
 
-template <typename T>
-std::span<T> ScratchArena::grab(std::vector<T>& buf, std::size_t n) {
+ScratchArena::~ScratchArena() { release(); }
+
+std::span<std::byte> ScratchArena::grab(Buffer& buf, std::size_t bytes,
+                                        std::size_t elem_size) {
   if (obs::enabled()) {  // pre-check: skips the metric-name std::string too
-    if (buf.capacity() >= n) {
+    if (buf.bytes >= bytes) {
       obs::count("cadmc.kernel.arena.reuse_hits");
     } else {
       obs::count("cadmc.kernel.arena.grows");
       obs::count("cadmc.kernel.arena.grow_bytes",
-                 static_cast<std::int64_t>((n - buf.capacity()) * sizeof(T)));
+                 static_cast<std::int64_t>(bytes - buf.bytes));
     }
   }
-  // resize (not assign): contents are documented as unspecified, so the
-  // existing prefix need not be cleared — reuse stays O(1).
-  if (buf.size() < n) buf.resize(n);
-  return std::span<T>(buf.data(), n);
+  if (buf.bytes < bytes) {
+    // Contents are documented as unspecified, so growth swaps rather than
+    // copies; rounding the capacity up to a whole alignment unit keeps every
+    // vectorized tail load inside the allocation.
+    const std::size_t rounded =
+        (bytes + kAlignment - 1) / kAlignment * kAlignment;
+    std::byte* fresh = alloc_aligned(rounded);
+    free_aligned(buf.data);
+    buf.data = fresh;
+    buf.bytes = rounded;
+  }
+  (void)elem_size;
+  return std::span<std::byte>(buf.data, bytes);
 }
 
 std::span<float> ScratchArena::floats(Slot slot, std::size_t n) {
-  return grab(float_slots_[slot], n);
+  const auto raw = grab(float_slots_[slot], n * sizeof(float), sizeof(float));
+  return std::span<float>(reinterpret_cast<float*>(raw.data()), n);
 }
 
 std::span<double> ScratchArena::doubles(Slot slot, std::size_t n) {
-  return grab(double_slots_[slot], n);
+  const auto raw =
+      grab(double_slots_[slot], n * sizeof(double), sizeof(double));
+  return std::span<double>(reinterpret_cast<double*>(raw.data()), n);
 }
 
 std::size_t ScratchArena::capacity_bytes() const {
   std::size_t total = 0;
-  for (int s = 0; s < kSlotCount; ++s) {
-    total += float_slots_[s].capacity() * sizeof(float);
-    total += double_slots_[s].capacity() * sizeof(double);
-  }
+  for (int s = 0; s < kSlotCount; ++s)
+    total += float_slots_[s].bytes + double_slots_[s].bytes;
   return total;
 }
 
 void ScratchArena::release() {
-  // `buf = {}` would pick the initializer_list assignment, which keeps
-  // capacity; swapping with a fresh vector actually drops the storage.
   for (int s = 0; s < kSlotCount; ++s) {
-    std::vector<float>().swap(float_slots_[s]);
-    std::vector<double>().swap(double_slots_[s]);
+    free_aligned(float_slots_[s].data);
+    float_slots_[s] = Buffer{};
+    free_aligned(double_slots_[s].data);
+    double_slots_[s] = Buffer{};
   }
 }
 

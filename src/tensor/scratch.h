@@ -1,10 +1,16 @@
 // Per-thread scratch memory for kernel temporaries: im2col matrices, packed
-// GEMM panels, and the double-precision column-gradient buffer of the conv
-// backward pass. Buffers are grow-only and slot-based, so a kernel can hold
-// several live scratch spans at once (each slot is backed by its own
-// allocation — requesting one slot never invalidates a span taken from
-// another) and repeated kernel calls reuse the high-water-mark allocation
-// instead of paying a fresh heap round-trip per forward/backward.
+// GEMM panels, and the column-gradient buffer of the conv backward pass.
+// Buffers are grow-only and slot-based, so a kernel can hold several live
+// scratch spans at once (each slot is backed by its own allocation —
+// requesting one slot never invalidates a span taken from another) and
+// repeated kernel calls reuse the high-water-mark allocation instead of
+// paying a fresh heap round-trip per forward/backward.
+//
+// Every buffer starts at a kAlignment (64-byte) boundary: one full cache
+// line, and twice the 32-byte AVX2 vector width, so the fast-mode kernels
+// can use aligned vector loads on packed panels (a kNR=8-float panel row
+// stride is exactly 32 bytes from an aligned base) and no im2col/panel
+// access ever needs an unaligned-fallback path.
 //
 // Lifetime rules:
 //  * ScratchArena::local() returns this thread's arena; spans taken from it
@@ -23,28 +29,31 @@
 
 #include <cstddef>
 #include <span>
-#include <vector>
 
 namespace cadmc::tensor {
 
 class ScratchArena {
  public:
+  /// Every span handed out starts at this alignment (bytes).
+  static constexpr std::size_t kAlignment = 64;
+
   /// One id per concurrently-live buffer a kernel needs.
   enum Slot {
     kIm2col = 0,  // im2col matrix shared across GEMM tasks (caller thread)
     kPanel,       // packed B-panel of the GEMM micro-kernel (worker thread)
     kPackA,       // packed/transposed A operand (matmul_tn)
-    kColGrad,     // double-precision dcol buffer in conv2d_backward
+    kColGrad,     // dcol buffer in conv2d_backward (double deterministic,
+                  // float fast mode — the two element types never alias)
     kSlotCount
   };
 
   /// This thread's arena (thread_local, created on first use).
   static ScratchArena& local();
 
-  /// A span of `n` floats backed by `slot`. Contents are unspecified — the
-  /// caller must fully overwrite whatever it reads back.
+  /// A span of `n` floats backed by `slot`, 64-byte aligned. Contents are
+  /// unspecified — the caller must fully overwrite whatever it reads back.
   std::span<float> floats(Slot slot, std::size_t n);
-  /// A span of `n` doubles backed by `slot`.
+  /// A span of `n` doubles backed by `slot`, 64-byte aligned.
   std::span<double> doubles(Slot slot, std::size_t n);
 
   /// Total bytes currently retained across every slot of *this* arena.
@@ -55,15 +64,23 @@ class ScratchArena {
   void release();
 
   ScratchArena() = default;
+  ~ScratchArena();
   ScratchArena(const ScratchArena&) = delete;
   ScratchArena& operator=(const ScratchArena&) = delete;
 
  private:
-  template <typename T>
-  std::span<T> grab(std::vector<T>& buf, std::size_t n);
+  /// One grow-only aligned allocation. Growth never preserves contents —
+  /// the spans' contents are documented as unspecified.
+  struct Buffer {
+    std::byte* data = nullptr;
+    std::size_t bytes = 0;  // capacity of `data`
+  };
 
-  std::vector<float> float_slots_[kSlotCount];
-  std::vector<double> double_slots_[kSlotCount];
+  std::span<std::byte> grab(Buffer& buf, std::size_t bytes,
+                            std::size_t elem_size);
+
+  Buffer float_slots_[kSlotCount];
+  Buffer double_slots_[kSlotCount];
 };
 
 }  // namespace cadmc::tensor

@@ -7,7 +7,21 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/logging.h"
+
 namespace cadmc::util {
+
+std::optional<std::size_t> parse_thread_count(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t value = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::size_t>(ch - '0');
+    if (value > kMaxThreadCount) return std::nullopt;  // also catches overflow
+  }
+  if (value == 0) return std::nullopt;
+  return value;
+}
 
 ThreadPool::ThreadPool(std::size_t workers) {
   threads_.reserve(workers);
@@ -52,12 +66,20 @@ namespace {
 std::size_t env_threads() {
   const char* env = std::getenv("CADMC_THREADS");
   if (!env || !*env) return 0;
-  try {
-    const long long n = std::stoll(env);
-    return n > 0 ? static_cast<std::size_t>(n) : 0;
-  } catch (const std::exception&) {
+  const auto parsed = parse_thread_count(env);
+  if (!parsed) {
+    // std::stoll used to accept "4x" (silently as 4) and threw on overflow
+    // (silently swallowed); now any non-strict value is rejected loudly,
+    // once, and the hardware default applies.
+    static std::once_flag warned;
+    std::call_once(warned, [env] {
+      log_warn() << "ignoring invalid CADMC_THREADS='" << env
+                 << "' (expected an integer in 1.." << kMaxThreadCount
+                 << "); using the hardware default";
+    });
     return 0;
   }
+  return *parsed;
 }
 
 // 0 = "use env/hardware default".

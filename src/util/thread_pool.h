@@ -21,10 +21,23 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 namespace cadmc::util {
+
+/// Upper bound accepted by parse_thread_count — far above any real machine,
+/// low enough that an overflowed or garbage value can never wedge the pool.
+inline constexpr std::size_t kMaxThreadCount = 4096;
+
+/// Strict parse of a thread-count string: decimal digits only, no sign, no
+/// whitespace, no trailing garbage ("4x" is an error, not 4), value in
+/// [1, kMaxThreadCount]. Returns nullopt on any violation — used by both
+/// the CADMC_THREADS environment variable (which warns once and falls back
+/// to the hardware default) and the CLI --threads flag (which errors out).
+std::optional<std::size_t> parse_thread_count(std::string_view text);
 
 class ThreadPool {
  public:

@@ -7,12 +7,25 @@
 // padding, groups, the 1x1-pointwise and depthwise fast paths — and that
 // results do not change with the configured thread count. CI additionally
 // runs this binary under ASan/UBSan and TSan.
+//
+// The vector fast mode (tensor/kernel_mode.h) carries a weaker numeric
+// contract — tolerance vs the same references via tensor/compare.h — but the
+// same structural one: bitwise invariance to thread count. Every bitwise
+// parity test pins deterministic mode explicitly so the suite stays green
+// when CI exports CADMC_KERNEL_MODE=fast for the whole kernel label.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "tensor/compare.h"
+#include "tensor/kernel_mode.h"
 #include "tensor/ops.h"
 #include "tensor/scratch.h"
 #include "tensor/tensor.h"
@@ -47,7 +60,16 @@ struct ThreadGuard {
   ~ThreadGuard() { util::set_configured_threads(saved); }
 };
 
+// Pins the kernel mode for one test body, restoring env/default selection
+// on exit. Bitwise tests pin kDeterministic so they keep passing when CI
+// exports CADMC_KERNEL_MODE=fast for the whole binary.
+struct ModeGuard {
+  explicit ModeGuard(KernelMode mode) { set_kernel_mode(mode); }
+  ~ModeGuard() { reset_kernel_mode(); }
+};
+
 TEST(KernelParity, MatmulFamilyRandomized) {
+  ModeGuard mode(KernelMode::kDeterministic);
   util::Rng rng(0xA11CE);
   // Shapes straddle the packing (m >= 4) and parallel thresholds, plus
   // ragged tails that don't divide the kNR/kJBlock blocking.
@@ -89,6 +111,7 @@ const ConvCase kConvCases[] = {
 };
 
 TEST(KernelParity, Conv2dForwardRandomized) {
+  ModeGuard mode(KernelMode::kDeterministic);
   util::Rng rng(0xC0DE);
   for (const auto& c : kConvCases) {
     const Tensor input = Tensor::randn({c.n, c.ci, c.h, c.w}, rng);
@@ -103,6 +126,7 @@ TEST(KernelParity, Conv2dForwardRandomized) {
 }
 
 TEST(KernelParity, Conv2dBackwardRandomized) {
+  ModeGuard mode(KernelMode::kDeterministic);
   util::Rng rng(0xBACD);
   for (const auto& c : kConvCases) {
     const Tensor input = Tensor::randn({c.n, c.ci, c.h, c.w}, rng);
@@ -124,6 +148,7 @@ TEST(KernelParity, Conv2dBackwardRandomized) {
 }
 
 TEST(KernelDeterminism, ThreadCountInvariance) {
+  ModeGuard mode(KernelMode::kDeterministic);
   ThreadGuard guard;
   util::Rng rng(0x7EAD);
   const Tensor a = Tensor::randn({48, 70}, rng);
@@ -226,6 +251,240 @@ TEST(ScratchArena, ConvWorkloadStopsGrowing) {
   const std::size_t cap_after_first = ScratchArena::local().capacity_bytes();
   run_all();
   EXPECT_EQ(ScratchArena::local().capacity_bytes(), cap_after_first);
+}
+
+// The AVX2 micro-kernel issues aligned panel loads on the promise that every
+// arena buffer starts at a 64-byte boundary. Regression test across all
+// slots, both element types, and the grow/reuse lifecycle.
+TEST(ScratchArena, BuffersAre64ByteAligned) {
+  ScratchArena& arena = ScratchArena::local();
+  arena.release();
+  const auto aligned = [](const void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % ScratchArena::kAlignment == 0;
+  };
+  const ScratchArena::Slot slots[] = {ScratchArena::kIm2col,
+                                      ScratchArena::kPanel,
+                                      ScratchArena::kPackA,
+                                      ScratchArena::kColGrad};
+  for (const auto slot : slots) {
+    EXPECT_TRUE(aligned(arena.floats(slot, 7).data()));    // fresh, odd size
+    EXPECT_TRUE(aligned(arena.floats(slot, 4096).data())); // after growth
+    EXPECT_TRUE(aligned(arena.floats(slot, 64).data()));   // reuse in place
+    EXPECT_TRUE(aligned(arena.doubles(slot, 7).data()));
+    EXPECT_TRUE(aligned(arena.doubles(slot, 4096).data()));
+    EXPECT_TRUE(aligned(arena.doubles(slot, 64).data()));
+  }
+  arena.release();
+}
+
+TEST(KernelModeSelection, ParseKnownAnswers) {
+  EXPECT_EQ(parse_kernel_mode("deterministic"), KernelMode::kDeterministic);
+  EXPECT_EQ(parse_kernel_mode("fast"), KernelMode::kFast);
+  EXPECT_EQ(parse_kernel_mode(""), std::nullopt);
+  EXPECT_EQ(parse_kernel_mode("Fast"), std::nullopt);
+  EXPECT_EQ(parse_kernel_mode("fastest"), std::nullopt);
+  EXPECT_EQ(parse_kernel_mode(" fast"), std::nullopt);
+  EXPECT_STREQ(kernel_mode_name(KernelMode::kDeterministic), "deterministic");
+  EXPECT_STREQ(kernel_mode_name(KernelMode::kFast), "fast");
+}
+
+TEST(KernelModeSelection, OverrideBeatsEnvironmentAndDefault) {
+  ModeGuard mode(KernelMode::kDeterministic);
+  EXPECT_EQ(requested_kernel_mode(), KernelMode::kDeterministic);
+  set_kernel_mode(KernelMode::kFast);
+  EXPECT_EQ(requested_kernel_mode(), KernelMode::kFast);
+  // The effective mode folds in hardware availability; it never reports
+  // fast on a machine that cannot run the vector kernels.
+  if (vector_kernels_available()) {
+    EXPECT_EQ(kernel_mode(), KernelMode::kFast);
+  } else {
+    EXPECT_EQ(kernel_mode(), KernelMode::kDeterministic);
+  }
+}
+
+TEST(KernelModeSelection, HonorsEnvironment) {
+  const char* saved = std::getenv("CADMC_KERNEL_MODE");
+  const std::string saved_value = saved ? saved : "";
+  ::setenv("CADMC_KERNEL_MODE", "fast", 1);
+  reset_kernel_mode();  // drop overrides, re-read the environment
+  EXPECT_EQ(requested_kernel_mode(), KernelMode::kFast);
+  ::setenv("CADMC_KERNEL_MODE", "deterministic", 1);
+  reset_kernel_mode();
+  EXPECT_EQ(requested_kernel_mode(), KernelMode::kDeterministic);
+  if (saved) {
+    ::setenv("CADMC_KERNEL_MODE", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("CADMC_KERNEL_MODE");
+  }
+  reset_kernel_mode();
+}
+
+TEST(CompareHelper, UlpDistanceKnownAnswers) {
+  EXPECT_EQ(ulp_distance(1.0f, 1.0f), 0u);
+  EXPECT_EQ(ulp_distance(0.0f, -0.0f), 0u);  // ±0 coincide on the ULP line
+  EXPECT_EQ(ulp_distance(1.0f, std::nextafterf(1.0f, 2.0f)), 1u);
+  EXPECT_EQ(ulp_distance(-1.0f, std::nextafterf(-1.0f, -2.0f)), 1u);
+  // One step across zero: -denorm_min -> +0 -> +denorm_min is 2 ULP.
+  const float denorm = std::numeric_limits<float>::denorm_min();
+  EXPECT_EQ(ulp_distance(-denorm, denorm), 2u);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(ulp_distance(nan, 1.0f), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(ulp_distance(nan, nan), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(CompareHelper, ReportsFirstMismatchAndMaxima) {
+  const float want[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const float got[] = {1.0f, 2.5f, 3.0f, 4.5f};
+  const CompareResult r = compare_close(got, want, 4, {1e-5, 1e-6});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.count, 4);
+  EXPECT_EQ(r.mismatches, 2);
+  EXPECT_EQ(r.first_mismatch, 1);
+  EXPECT_FLOAT_EQ(r.first_got, 2.5f);
+  EXPECT_FLOAT_EQ(r.first_want, 2.0f);
+  EXPECT_EQ(r.max_rel_index, 1);  // 0.5/2 beats 0.5/4
+  EXPECT_NEAR(r.max_rel_error, 0.25, 1e-12);
+  EXPECT_GT(r.max_ulp, 0u);
+  EXPECT_NE(r.summary().find("FAIL"), std::string::npos);
+}
+
+TEST(CompareHelper, ToleranceBoundaryIsInclusive) {
+  const float want[] = {10.0f};
+  const float beyond[] = {10.2f};
+  // |got-want| <= abs_tol + rel_tol*|want| : 0.1 + 0.005*10 = 0.15.
+  const float within[] = {10.14f};
+  EXPECT_TRUE(compare_close(within, want, 1, {5e-3, 0.1}).ok);
+  EXPECT_FALSE(compare_close(beyond, want, 1, {5e-3, 0.1}).ok);
+}
+
+TEST(CompareHelper, TensorShapeMismatchFailsWithoutThrowing) {
+  util::Rng rng(7);
+  const Tensor a = Tensor::randn({2, 3}, rng);
+  const Tensor b = Tensor::randn({3, 2}, rng);
+  const CompareResult r = compare_close(a, b, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.count, -1);
+  EXPECT_NE(r.summary().find("shape mismatch"), std::string::npos);
+  const CompareResult same = compare_close(a, a, {});
+  EXPECT_TRUE(same.ok);
+  EXPECT_EQ(same.max_ulp, 0u);
+}
+
+// --- Fast (vectorized) mode -------------------------------------------------
+// Tolerance contract: fp32 FMA accumulation drifts from the double-accumulated
+// reference by roughly k*eps_f32 per dot product; rel 1e-3 is ~100x headroom
+// for the k<=257 shapes below while still catching indexing/packing bugs,
+// which produce O(1) errors.
+
+constexpr CompareTolerance kFastTol{1e-3, 1e-3};
+
+void expect_close(const Tensor& got, const Tensor& want, const char* what) {
+  const CompareResult r = compare_close(got, want, kFastTol);
+  EXPECT_TRUE(r.ok) << what << ": " << r.summary();
+}
+
+#define SKIP_WITHOUT_VECTOR_KERNELS()                                       \
+  if (!vector_kernels_available()) {                                        \
+    GTEST_SKIP() << "vector kernels unavailable ("                          \
+                 << (vector_kernels_compiled() ? "no AVX2/FMA cpu"          \
+                                              : "not compiled")            \
+                 << ")";                                                    \
+  }
+
+TEST(FastKernels, MatmulFamilyWithinTolerance) {
+  SKIP_WITHOUT_VECTOR_KERNELS();
+  ModeGuard mode(KernelMode::kFast);
+  ASSERT_EQ(kernel_mode(), KernelMode::kFast);
+  util::Rng rng(0xFA57);
+  const int dims[][3] = {{1, 7, 5},   {3, 16, 64},   {4, 4, 4},
+                         {8, 33, 65}, {17, 40, 129}, {64, 64, 64},
+                         {5, 1, 9},   {96, 31, 257}};
+  for (const auto& d : dims) {
+    const int m = d[0], k = d[1], n = d[2];
+    const Tensor a = Tensor::randn({m, k}, rng);
+    const Tensor b = Tensor::randn({k, n}, rng);
+    const Tensor at = Tensor::randn({k, m}, rng);
+    const Tensor bt = Tensor::randn({n, k}, rng);
+    expect_close(matmul(a, b), reference::matmul(a, b), "fast matmul");
+    expect_close(matmul_tn(at, b), reference::matmul_tn(at, b),
+                 "fast matmul_tn");
+    expect_close(matmul_nt(a, bt), reference::matmul_nt(a, bt),
+                 "fast matmul_nt");
+  }
+}
+
+TEST(FastKernels, Conv2dForwardWithinTolerance) {
+  SKIP_WITHOUT_VECTOR_KERNELS();
+  ModeGuard mode(KernelMode::kFast);
+  util::Rng rng(0xFACE);
+  for (const auto& c : kConvCases) {
+    const Tensor input = Tensor::randn({c.n, c.ci, c.h, c.w}, rng);
+    const Tensor weight =
+        Tensor::randn({c.co, c.ci / c.groups, c.k, c.k}, rng);
+    const Tensor bias = c.bias ? Tensor::randn({c.co}, rng) : Tensor();
+    const Conv2dSpec spec{c.stride, c.padding, c.groups};
+    expect_close(conv2d(input, weight, bias, spec),
+                 reference::conv2d(input, weight, bias, spec), "fast conv2d");
+  }
+}
+
+TEST(FastKernels, Conv2dBackwardWithinTolerance) {
+  SKIP_WITHOUT_VECTOR_KERNELS();
+  ModeGuard mode(KernelMode::kFast);
+  util::Rng rng(0xFAB5);
+  for (const auto& c : kConvCases) {
+    const Tensor input = Tensor::randn({c.n, c.ci, c.h, c.w}, rng);
+    const Tensor weight =
+        Tensor::randn({c.co, c.ci / c.groups, c.k, c.k}, rng);
+    const Conv2dSpec spec{c.stride, c.padding, c.groups};
+    const int ho = conv_out_size(c.h, c.k, c.stride, c.padding);
+    const int wo = conv_out_size(c.w, c.k, c.stride, c.padding);
+    const Tensor grad_out = Tensor::randn({c.n, c.co, ho, wo}, rng);
+    const Conv2dGrads got =
+        conv2d_backward(input, weight, c.bias, grad_out, spec);
+    const Conv2dGrads want =
+        reference::conv2d_backward(input, weight, c.bias, grad_out, spec);
+    expect_close(got.input, want.input, "fast conv2d_backward input");
+    expect_close(got.weight, want.weight, "fast conv2d_backward weight");
+    if (c.bias)
+      expect_close(got.bias, want.bias, "fast conv2d_backward bias");
+  }
+}
+
+// Fast mode trades the bitwise-vs-reference contract for speed, but keeps
+// the bitwise thread-count invariance: each output element is produced by
+// exactly one task in a fixed operand order regardless of worker count.
+TEST(FastKernels, ThreadCountInvariance) {
+  SKIP_WITHOUT_VECTOR_KERNELS();
+  ModeGuard mode(KernelMode::kFast);
+  ThreadGuard guard;
+  util::Rng rng(0xF17E);
+  const Tensor a = Tensor::randn({48, 70}, rng);
+  const Tensor b = Tensor::randn({70, 200}, rng);
+  const Tensor input = Tensor::randn({2, 8, 14, 14}, rng);
+  const Tensor weight = Tensor::randn({16, 8, 3, 3}, rng);
+  const Tensor bias = Tensor::randn({16}, rng);
+  const Conv2dSpec spec{1, 1, 1};
+  const Tensor grad_out = Tensor::randn({2, 16, 14, 14}, rng);
+
+  util::set_configured_threads(1);
+  const Tensor mm1 = matmul(a, b);
+  const Tensor conv1 = conv2d(input, weight, bias, spec);
+  const Conv2dGrads back1 =
+      conv2d_backward(input, weight, true, grad_out, spec);
+
+  util::set_configured_threads(4);
+  const Tensor mm4 = matmul(a, b);
+  const Tensor conv4 = conv2d(input, weight, bias, spec);
+  const Conv2dGrads back4 =
+      conv2d_backward(input, weight, true, grad_out, spec);
+
+  expect_bit_identical(mm1, mm4, "fast matmul threads 1 vs 4");
+  expect_bit_identical(conv1, conv4, "fast conv2d threads 1 vs 4");
+  expect_bit_identical(back1.input, back4.input, "fast dinput threads 1 vs 4");
+  expect_bit_identical(back1.weight, back4.weight,
+                       "fast dweight threads 1 vs 4");
+  expect_bit_identical(back1.bias, back4.bias, "fast dbias threads 1 vs 4");
 }
 
 }  // namespace

@@ -219,6 +219,29 @@ TEST(Accumulator, StddevSurvivesLargeMeanSmallVariance) {
   EXPECT_NEAR(acc.stddev(), std::sqrt(2.0 / 3.0), 1e-6);
 }
 
+TEST(ThreadPool, ParseThreadCountAcceptsStrictIntegers) {
+  EXPECT_EQ(parse_thread_count("1"), 1u);
+  EXPECT_EQ(parse_thread_count("4"), 4u);
+  EXPECT_EQ(parse_thread_count("128"), 128u);
+  EXPECT_EQ(parse_thread_count("4096"), kMaxThreadCount);
+}
+
+TEST(ThreadPool, ParseThreadCountRejectsEverythingElse) {
+  // std::stoll used to accept "4x" as 4 and leading whitespace/sign; the
+  // strict parser rejects all of these.
+  EXPECT_EQ(parse_thread_count(""), std::nullopt);
+  EXPECT_EQ(parse_thread_count("0"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("4x"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("x4"), std::nullopt);
+  EXPECT_EQ(parse_thread_count(" 4"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("4 "), std::nullopt);
+  EXPECT_EQ(parse_thread_count("-3"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("+3"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("3.5"), std::nullopt);
+  EXPECT_EQ(parse_thread_count("4097"), std::nullopt);  // > kMaxThreadCount
+  EXPECT_EQ(parse_thread_count("99999999999999999999"), std::nullopt);  // overflow
+}
+
 TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
   const std::size_t saved = configured_threads();
   set_configured_threads(4);

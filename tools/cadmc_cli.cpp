@@ -25,6 +25,13 @@
 // search fan-outs run on (overrides the CADMC_THREADS environment variable;
 // default: hardware concurrency). Results are bit-identical for any N.
 //
+// Any subcommand accepts --kernel-mode deterministic|fast (overrides the
+// CADMC_KERNEL_MODE environment variable). `deterministic` (default) runs
+// the scalar kernels that are bit-identical to tensor::reference; `fast`
+// runs the AVX2/FMA vector kernels (tolerance contract, still bit-identical
+// across thread counts) and falls back to deterministic on hardware
+// without AVX2+FMA.
+//
 // Any subcommand accepts --metrics-out <path>: it enables metric/span
 // collection, writes the JSONL event stream there on exit, and prints the
 // aggregate run report. It also accepts --trace-out <path>: the collected
@@ -50,6 +57,7 @@
 #include "obs/snapshot.h"
 #include "obs/trace_export.h"
 #include "runtime/gateway.h"
+#include "tensor/kernel_mode.h"
 #include "tree/tree_io.h"
 #include "util/csv.h"
 #include "util/string_util.h"
@@ -497,9 +505,12 @@ void usage() {
       "          [--max-inflight N] [--duration-ms MS]   run an echo gateway\n"
       "Any command also takes --threads <N> to size the search worker pool\n"
       "(overrides CADMC_THREADS; default: hardware concurrency; results are\n"
-      "bit-identical for any N), --metrics-out <path> to collect and save\n"
-      "a metrics/span JSONL stream and print the run report on exit, and\n"
-      "--trace-out <path> to save the spans as a Chrome/Perfetto trace.\n");
+      "bit-identical for any N), --kernel-mode deterministic|fast to select\n"
+      "the compute kernels (overrides CADMC_KERNEL_MODE; fast = AVX2/FMA,\n"
+      "falls back to deterministic off-AVX2), --metrics-out <path> to\n"
+      "collect and save a metrics/span JSONL stream and print the run\n"
+      "report on exit, and --trace-out <path> to save the spans as a\n"
+      "Chrome/Perfetto trace.\n");
 }
 
 int dispatch(const std::string& command, const Flags& flags) {
@@ -532,13 +543,26 @@ int main(int argc, char** argv) {
   const auto snapshot_exporter = obs::SnapshotExporter::from_env();
   const std::string threads = flag_or(flags, "threads", "");
   if (!threads.empty()) {
-    try {
-      util::set_configured_threads(std::stoul(threads));
-    } catch (const std::exception&) {
-      std::fprintf(stderr, "--threads expects a number, got '%s'\n",
-                   threads.c_str());
+    // Strict parse: std::stoul accepted "4x" (as 4), signs and whitespace.
+    const auto parsed = util::parse_thread_count(threads);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "--threads expects an integer in 1..%zu, got '%s'\n",
+                   util::kMaxThreadCount, threads.c_str());
       return 2;
     }
+    util::set_configured_threads(*parsed);
+  }
+  const std::string kernel_mode = flag_or(flags, "kernel-mode", "");
+  if (!kernel_mode.empty()) {
+    const auto parsed = tensor::parse_kernel_mode(kernel_mode);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "--kernel-mode expects deterministic|fast, got '%s'\n",
+                   kernel_mode.c_str());
+      return 2;
+    }
+    tensor::set_kernel_mode(*parsed);
   }
   const std::string metrics_out = flag_or(flags, "metrics-out", "");
   // `report` reads saved streams; its own --trace-out is handled there.
