@@ -14,6 +14,7 @@
 #include "latency/device_profile.h"
 #include "nn/conv.h"
 #include "nn/factory.h"
+#include "nn/optimizer.h"
 #include "obs/critpath.h"
 #include "obs/export.h"
 #include "obs/span.h"
@@ -22,6 +23,7 @@
 #include "runtime/gateway.h"
 #include "runtime/transport.h"
 #include "tensor/kernel_mode.h"
+#include "tensor/ops.h"
 #include "tree/tree_search.h"
 #include "util/csv.h"
 #include "util/rng.h"
@@ -423,6 +425,40 @@ PerfStats bench_conv_backward(const PerfSuiteConfig& config, const char* name,
                  [&] { conv.backward(grad); });
 }
 
+PerfStats bench_pool_forward(const PerfSuiteConfig& config, const char* name,
+                             tensor::KernelMode mode) {
+  // Inference-shaped pooling (no argmax side-output), the variant the edge
+  // executors run per frame; fast mode routes it to the vector row kernels.
+  const KernelModeScope scope(mode);
+  util::Rng rng(0x9001);
+  const auto x = tensor::Tensor::randn({4, 32, 16, 16}, rng, 0.3f);
+  return measure(name, config.warmup, config.repetitions, [&] {
+    tensor::maxpool2d(x, 2, 2, /*with_argmax=*/false);
+    tensor::avgpool2d(x, 2, 2);
+  });
+}
+
+PerfStats bench_sgd_step(const PerfSuiteConfig& config, const char* name,
+                         tensor::KernelMode mode) {
+  // The fused momentum+weight-decay parameter sweep, sized like the tiny-CNN
+  // parameter set the distillation loop updates every step.
+  const KernelModeScope scope(mode);
+  util::Rng rng(0x56D5);
+  std::vector<tensor::Tensor> params, grads;
+  for (const auto& shape :
+       {tensor::Shape{64, 32, 3, 3}, tensor::Shape{32, 16, 3, 3},
+        tensor::Shape{128, 256}, tensor::Shape{128}}) {
+    params.push_back(tensor::Tensor::randn(shape, rng, 0.1f));
+    grads.push_back(tensor::Tensor::randn(shape, rng, 0.01f));
+  }
+  std::vector<tensor::Tensor*> param_ptrs, grad_ptrs;
+  for (auto& p : params) param_ptrs.push_back(&p);
+  for (auto& g : grads) grad_ptrs.push_back(&g);
+  nn::Sgd sgd(0.05, /*momentum=*/0.9, /*weight_decay=*/1e-4);
+  return measure(name, config.warmup, config.repetitions,
+                 [&] { sgd.step(param_ptrs, grad_ptrs); });
+}
+
 PerfStats bench_distill_train(const PerfSuiteConfig& config, const char* name,
                               tensor::KernelMode mode) {
   // The RealAccuracyEvaluator::train_and_evaluate hot loop (Alg. 3 /
@@ -553,6 +589,18 @@ int run_perf_suite(const PerfSuiteConfig& config) {
   if (selected("conv_backward_fast") && fast_ok)
     results.push_back(bench_conv_backward(config, "conv_backward_fast",
                                           KernelMode::kFast));
+  if (selected("pool_forward"))
+    results.push_back(bench_pool_forward(config, "pool_forward",
+                                         KernelMode::kDeterministic));
+  if (selected("pool_forward_fast") && fast_ok)
+    results.push_back(bench_pool_forward(config, "pool_forward_fast",
+                                         KernelMode::kFast));
+  if (selected("sgd_step"))
+    results.push_back(bench_sgd_step(config, "sgd_step",
+                                     KernelMode::kDeterministic));
+  if (selected("sgd_step_fast") && fast_ok)
+    results.push_back(bench_sgd_step(config, "sgd_step_fast",
+                                     KernelMode::kFast));
   if (selected("distill_train"))
     results.push_back(bench_distill_train(config, "distill_train",
                                           KernelMode::kDeterministic));
@@ -561,7 +609,8 @@ int run_perf_suite(const PerfSuiteConfig& config) {
                                           KernelMode::kFast));
   if (!fast_ok && !config.quiet &&
       (selected("gemm_nn_fast") || selected("conv_forward_fast") ||
-       selected("conv_backward_fast") || selected("distill_train_fast")))
+       selected("conv_backward_fast") || selected("pool_forward_fast") ||
+       selected("sgd_step_fast") || selected("distill_train_fast")))
     std::fprintf(stderr,
                  "skipping *_fast kernel benches: AVX2/FMA unavailable (%s)\n",
                  tensor::vector_kernels_compiled() ? "cpu" : "build");

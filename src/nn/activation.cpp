@@ -2,28 +2,17 @@
 
 #include <stdexcept>
 
+#include "tensor/ops.h"
+
 namespace cadmc::nn {
 
 Tensor ReLU::forward(const Tensor& input, bool training) {
   if (training) cached_input_ = input;
-  Tensor out = input;
-  for (std::int64_t i = 0; i < out.numel(); ++i) {
-    float v = out.at(i);
-    if (v < 0.0f) v = 0.0f;
-    if (cap_ > 0.0f && v > cap_) v = cap_;
-    out.at(i) = v;
-  }
-  return out;
+  return tensor::relu(input, cap_);
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
-  Tensor grad_in = grad_out;
-  for (std::int64_t i = 0; i < grad_in.numel(); ++i) {
-    const float x = cached_input_.at(i);
-    const bool pass = x > 0.0f && (cap_ <= 0.0f || x < cap_);
-    if (!pass) grad_in.at(i) = 0.0f;
-  }
-  return grad_in;
+  return tensor::relu_backward(cached_input_, grad_out, cap_);
 }
 
 LayerSpec ReLU::spec() const {

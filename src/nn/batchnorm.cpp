@@ -1,7 +1,9 @@
 #include "nn/batchnorm.h"
 
-#include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "tensor/ops.h"
 
 namespace cadmc::nn {
 
@@ -19,86 +21,30 @@ BatchNorm2d::BatchNorm2d(int channels, float momentum, float eps)
 Tensor BatchNorm2d::forward(const Tensor& input, bool training) {
   if (input.rank() != 4 || input.dim(1) != channels_)
     throw std::invalid_argument("BatchNorm2d: expected [N,C,H,W] input");
-  const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
-  const std::int64_t per_channel = static_cast<std::int64_t>(n) * h * w;
-  Tensor out(input.shape());
-
   if (training) {
-    cached_input_ = input;
-    cached_mean_.assign(static_cast<std::size_t>(channels_), 0.0f);
-    cached_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
-    cached_norm_ = Tensor(input.shape());
+    auto fwd = tensor::batchnorm2d_train(input, gamma_, beta_, eps_);
+    cached_norm_ = std::move(fwd.norm);
+    cached_inv_std_ = std::move(fwd.inv_std);
     for (int c = 0; c < channels_; ++c) {
-      double mean = 0.0;
-      for (int b = 0; b < n; ++b)
-        for (int y = 0; y < h; ++y)
-          for (int x = 0; x < w; ++x) mean += input(b, c, y, x);
-      mean /= static_cast<double>(per_channel);
-      double var = 0.0;
-      for (int b = 0; b < n; ++b)
-        for (int y = 0; y < h; ++y)
-          for (int x = 0; x < w; ++x) {
-            const double d = input(b, c, y, x) - mean;
-            var += d * d;
-          }
-      var /= static_cast<double>(per_channel);
-      const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
-      cached_mean_[static_cast<std::size_t>(c)] = static_cast<float>(mean);
-      cached_inv_std_[static_cast<std::size_t>(c)] = inv_std;
       running_mean_(c) = (1.0f - momentum_) * running_mean_(c) +
-                         momentum_ * static_cast<float>(mean);
+                         momentum_ * fwd.mean[static_cast<std::size_t>(c)];
       running_var_(c) = (1.0f - momentum_) * running_var_(c) +
-                        momentum_ * static_cast<float>(var);
-      for (int b = 0; b < n; ++b)
-        for (int y = 0; y < h; ++y)
-          for (int x = 0; x < w; ++x) {
-            const float norm =
-                (input(b, c, y, x) - static_cast<float>(mean)) * inv_std;
-            cached_norm_(b, c, y, x) = norm;
-            out(b, c, y, x) = gamma_(c) * norm + beta_(c);
-          }
+                        momentum_ * fwd.var[static_cast<std::size_t>(c)];
     }
-  } else {
-    for (int c = 0; c < channels_; ++c) {
-      const float inv_std = 1.0f / std::sqrt(running_var_(c) + eps_);
-      for (int b = 0; b < n; ++b)
-        for (int y = 0; y < h; ++y)
-          for (int x = 0; x < w; ++x)
-            out(b, c, y, x) =
-                gamma_(c) * (input(b, c, y, x) - running_mean_(c)) * inv_std +
-                beta_(c);
-    }
+    return std::move(fwd.output);
   }
-  return out;
+  return tensor::batchnorm2d_infer(input, gamma_, beta_, running_mean_,
+                                   running_var_, eps_);
 }
 
 Tensor BatchNorm2d::backward(const Tensor& grad_out) {
-  const int n = grad_out.dim(0), h = grad_out.dim(2), w = grad_out.dim(3);
-  const double m = static_cast<double>(n) * h * w;
-  Tensor grad_in(grad_out.shape());
+  auto grads =
+      tensor::batchnorm2d_backward(grad_out, cached_norm_, gamma_, cached_inv_std_);
   for (int c = 0; c < channels_; ++c) {
-    double sum_dy = 0.0, sum_dy_norm = 0.0;
-    for (int b = 0; b < n; ++b)
-      for (int y = 0; y < h; ++y)
-        for (int x = 0; x < w; ++x) {
-          const double dy = grad_out(b, c, y, x);
-          sum_dy += dy;
-          sum_dy_norm += dy * cached_norm_(b, c, y, x);
-        }
-    gamma_grad_(c) += static_cast<float>(sum_dy_norm);
-    beta_grad_(c) += static_cast<float>(sum_dy);
-    const double g = gamma_(c);
-    const double inv_std = cached_inv_std_[static_cast<std::size_t>(c)];
-    for (int b = 0; b < n; ++b)
-      for (int y = 0; y < h; ++y)
-        for (int x = 0; x < w; ++x) {
-          const double dy = grad_out(b, c, y, x);
-          const double norm = cached_norm_(b, c, y, x);
-          grad_in(b, c, y, x) = static_cast<float>(
-              g * inv_std * (dy - sum_dy / m - norm * sum_dy_norm / m));
-        }
+    gamma_grad_(c) += grads.gamma(c);
+    beta_grad_(c) += grads.beta(c);
   }
-  return grad_in;
+  return std::move(grads.input);
 }
 
 LayerSpec BatchNorm2d::spec() const {

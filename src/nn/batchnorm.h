@@ -27,9 +27,10 @@ class BatchNorm2d : public Layer {
   float momentum_, eps_;
   Tensor gamma_, beta_, gamma_grad_, beta_grad_;
   Tensor running_mean_, running_var_;
-  // Caches for backward.
-  Tensor cached_input_, cached_norm_;
-  std::vector<float> cached_mean_, cached_inv_std_;
+  // Caches for backward: the normalized activations and per-channel 1/std.
+  // The raw input is never retained — backward only needs norm and inv_std.
+  Tensor cached_norm_;
+  std::vector<float> cached_inv_std_;
 };
 
 }  // namespace cadmc::nn

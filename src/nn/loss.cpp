@@ -1,7 +1,6 @@
 #include "nn/loss.h"
 
-#include <cmath>
-#include <stdexcept>
+#include <utility>
 
 #include "tensor/ops.h"
 
@@ -10,22 +9,10 @@ namespace cadmc::nn {
 using tensor::Tensor;
 
 LossResult cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
-  if (logits.rank() != 2) throw std::invalid_argument("cross_entropy: rank-2 logits expected");
-  const int n = logits.dim(0), c = logits.dim(1);
-  if (static_cast<int>(labels.size()) != n)
-    throw std::invalid_argument("cross_entropy: label count mismatch");
-  Tensor probs = tensor::softmax_rows(logits);
+  auto rows = tensor::softmax_xent_rows(logits, labels);
   LossResult result;
-  result.grad = probs;
-  double loss = 0.0;
-  for (int i = 0; i < n; ++i) {
-    const int y = labels[static_cast<std::size_t>(i)];
-    if (y < 0 || y >= c) throw std::invalid_argument("cross_entropy: bad label");
-    loss -= std::log(std::max(1e-12, static_cast<double>(probs(i, y))));
-    result.grad(i, y) -= 1.0f;
-  }
-  result.loss = loss / n;
-  result.grad.scale_(1.0f / static_cast<float>(n));
+  result.loss = rows.loss;
+  result.grad = std::move(rows.grad);
   return result;
 }
 
@@ -33,36 +20,16 @@ LossResult distillation_loss(const Tensor& student_logits,
                              const Tensor& teacher_logits,
                              const std::vector<int>& labels, double temperature,
                              double alpha) {
-  const int n = student_logits.dim(0), c = student_logits.dim(1);
-  if (teacher_logits.dim(0) != n || teacher_logits.dim(1) != c)
-    throw std::invalid_argument("distillation_loss: teacher/student shape mismatch");
-
   // Soft part: T^2 * KL(p_T || q_T) where p_T, q_T are temperature-softened
   // teacher/student distributions. dL/dz_student = T * (q_T - p_T) per sample
-  // (the T^2 factor cancels one 1/T from the softmax derivative).
-  Tensor student_t = student_logits;
-  Tensor teacher_t = teacher_logits;
-  student_t.scale_(static_cast<float>(1.0 / temperature));
-  teacher_t.scale_(static_cast<float>(1.0 / temperature));
-  const Tensor q = tensor::softmax_rows(student_t);
-  const Tensor p = tensor::softmax_rows(teacher_t);
-
-  double soft_loss = 0.0;
-  Tensor soft_grad({n, c});
-  for (int i = 0; i < n; ++i)
-    for (int j = 0; j < c; ++j) {
-      const double pij = p(i, j), qij = std::max(1e-12, static_cast<double>(q(i, j)));
-      if (pij > 1e-12) soft_loss += pij * std::log(pij / qij);
-      soft_grad(i, j) = static_cast<float>(temperature * (q(i, j) - p(i, j)));
-    }
-  soft_loss *= temperature * temperature / n;
-  soft_grad.scale_(1.0f / static_cast<float>(n));
-
-  LossResult hard = cross_entropy(student_logits, labels);
+  // (the T^2 factor cancels one 1/T from the softmax derivative). The fused
+  // kernel writes the soft gradient directly — no [N,C] temporaries here.
+  auto soft = tensor::kd_softmax_rows(student_logits, teacher_logits, temperature);
+  auto hard = tensor::softmax_xent_rows(student_logits, labels);
 
   LossResult result;
-  result.loss = alpha * soft_loss + (1.0 - alpha) * hard.loss;
-  result.grad = soft_grad;
+  result.loss = alpha * soft.loss + (1.0 - alpha) * hard.loss;
+  result.grad = std::move(soft.grad);
   result.grad.scale_(static_cast<float>(alpha));
   result.grad.add_scaled_(hard.grad, static_cast<float>(1.0 - alpha));
   return result;

@@ -1,7 +1,10 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
+
+#include "tensor/ops.h"
 
 namespace cadmc::nn {
 
@@ -18,24 +21,16 @@ void Sgd::step(const std::vector<Tensor*>& params,
     velocity_.clear();
     for (Tensor* p : params) velocity_.emplace_back(p->shape());
   }
+  // The fused kernel does weight decay, momentum and the parameter update in
+  // one sweep per tensor (one pass over memory instead of three).
   for (std::size_t i = 0; i < params.size(); ++i) {
     Tensor& p = *params[i];
     const Tensor& g = *grads[i];
-    if (momentum_ > 0.0) {
-      Tensor& v = velocity_[i];
-      for (std::int64_t j = 0; j < p.numel(); ++j) {
-        const float grad =
-            g.at(j) + static_cast<float>(weight_decay_) * p.at(j);
-        v.at(j) = static_cast<float>(momentum_) * v.at(j) + grad;
-        p.at(j) -= static_cast<float>(lr_) * v.at(j);
-      }
-    } else {
-      for (std::int64_t j = 0; j < p.numel(); ++j) {
-        const float grad =
-            g.at(j) + static_cast<float>(weight_decay_) * p.at(j);
-        p.at(j) -= static_cast<float>(lr_) * grad;
-      }
-    }
+    std::span<float> velocity;
+    if (momentum_ > 0.0) velocity = velocity_[i].data();
+    tensor::sgd_update(p.data(), g.data(), velocity, static_cast<float>(lr_),
+                       static_cast<float>(momentum_),
+                       static_cast<float>(weight_decay_));
   }
 }
 
@@ -58,26 +53,30 @@ void Adam::step(const std::vector<Tensor*>& params,
   const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
   for (std::size_t i = 0; i < params.size(); ++i) {
-    Tensor& p = *params[i];
-    const Tensor& g = *grads[i];
-    Tensor& m = m_[i];
-    Tensor& v = v_[i];
-    for (std::int64_t j = 0; j < p.numel(); ++j) {
-      const double gj = g.at(j);
-      m.at(j) = static_cast<float>(beta1_ * m.at(j) + (1.0 - beta1_) * gj);
-      v.at(j) = static_cast<float>(beta2_ * v.at(j) + (1.0 - beta2_) * gj * gj);
-      const double mhat = m.at(j) / bc1;
-      const double vhat = v.at(j) / bc2;
-      p.at(j) -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    float* __restrict p = params[i]->data().data();
+    const float* __restrict g = grads[i]->data().data();
+    float* __restrict m = m_[i].data().data();
+    float* __restrict v = v_[i].data().data();
+    const std::int64_t n = params[i]->numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const double gj = g[j];
+      m[j] = static_cast<float>(beta1_ * m[j] + (1.0 - beta1_) * gj);
+      v[j] = static_cast<float>(beta2_ * v[j] + (1.0 - beta2_) * gj * gj);
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
     }
   }
 }
 
 double clip_grad_norm(const std::vector<Tensor*>& grads, double max_norm) {
   double total = 0.0;
-  for (const Tensor* g : grads)
-    for (std::int64_t j = 0; j < g->numel(); ++j)
-      total += static_cast<double>(g->at(j)) * g->at(j);
+  for (const Tensor* g : grads) {
+    const float* __restrict gp = g->data().data();
+    const std::int64_t n = g->numel();
+    for (std::int64_t j = 0; j < n; ++j)
+      total += static_cast<double>(gp[j]) * gp[j];
+  }
   const double norm = std::sqrt(total);
   if (norm > max_norm && norm > 0.0) {
     const float scale = static_cast<float>(max_norm / norm);

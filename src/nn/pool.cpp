@@ -1,6 +1,7 @@
 #include "nn/pool.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace cadmc::nn {
 
@@ -10,16 +11,31 @@ MaxPool2d::MaxPool2d(int kernel, int stride) : kernel_(kernel), stride_(stride) 
 }
 
 Tensor MaxPool2d::forward(const Tensor& input, bool training) {
-  auto result = tensor::maxpool2d(input, kernel_, stride_);
+  // Inference skips the argmax side-output entirely (and unlocks the
+  // vectorized fast-mode row kernel); training keeps only shape + argmax —
+  // never the input activation itself.
+  auto result = tensor::maxpool2d(input, kernel_, stride_, training);
   if (training) {
-    cached_input_ = input;
-    cached_fwd_ = result;
+    cached_shape_ = input.shape();
+    cached_argmax_ = std::move(result.argmax);
+  } else {
+    cached_argmax_.clear();
   }
-  return result.output;
+  has_cache_ = training;
+  return std::move(result.output);
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {
-  return tensor::maxpool2d_backward(cached_input_, cached_fwd_, grad_out);
+  if (!has_cache_)
+    throw std::logic_error(
+        "MaxPool2d::backward: no cached argmax — call forward(training=true) "
+        "before backward");
+  Tensor grad_in =
+      tensor::maxpool2d_backward(cached_shape_, cached_argmax_, grad_out);
+  cached_argmax_.clear();
+  cached_argmax_.shrink_to_fit();
+  has_cache_ = false;
+  return grad_in;
 }
 
 LayerSpec MaxPool2d::spec() const {
@@ -44,12 +60,18 @@ AvgPool2d::AvgPool2d(int kernel, int stride) : kernel_(kernel), stride_(stride) 
 }
 
 Tensor AvgPool2d::forward(const Tensor& input, bool training) {
-  if (training) cached_input_ = input;
+  if (training) cached_shape_ = input.shape();
+  has_cache_ = training;
   return tensor::avgpool2d(input, kernel_, stride_);
 }
 
 Tensor AvgPool2d::backward(const Tensor& grad_out) {
-  return tensor::avgpool2d_backward(cached_input_, kernel_, stride_, grad_out);
+  if (!has_cache_)
+    throw std::logic_error(
+        "AvgPool2d::backward: no cached shape — call forward(training=true) "
+        "before backward");
+  has_cache_ = false;
+  return tensor::avgpool2d_backward(cached_shape_, kernel_, stride_, grad_out);
 }
 
 LayerSpec AvgPool2d::spec() const {
@@ -69,12 +91,18 @@ std::unique_ptr<Layer> AvgPool2d::clone() const {
 }
 
 Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
-  if (training) cached_input_ = input;
+  if (training) cached_shape_ = input.shape();
+  has_cache_ = training;
   return tensor::global_avgpool(input);
 }
 
 Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
-  return tensor::global_avgpool_backward(cached_input_, grad_out);
+  if (!has_cache_)
+    throw std::logic_error(
+        "GlobalAvgPool::backward: no cached shape — call "
+        "forward(training=true) before backward");
+  has_cache_ = false;
+  return tensor::global_avgpool_backward(cached_shape_, grad_out);
 }
 
 LayerSpec GlobalAvgPool::spec() const {

@@ -1,7 +1,16 @@
 // Pooling layers: max, average and global-average (the F3 replacement for
 // FC heads in Table II). Pooling MACCs are negligible per the paper's
 // measurements, so macc() stays 0.
+//
+// Backward needs only the input *shape* (plus, for max pooling, the argmax
+// routing), so no layer here retains a full input activation: forward
+// caches the shape, backward consumes the cache and releases it. A backward
+// without a training-mode forward — or a second backward on the same cache —
+// throws std::logic_error, matching the Conv2d/Linear stale-cache contract.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "nn/layer.h"
 #include "tensor/ops.h"
@@ -21,8 +30,9 @@ class MaxPool2d : public Layer {
 
  private:
   int kernel_, stride_;
-  Tensor cached_input_;
-  tensor::MaxPoolResult cached_fwd_;
+  Shape cached_shape_;
+  std::vector<std::int64_t> cached_argmax_;
+  bool has_cache_ = false;
 };
 
 class AvgPool2d : public Layer {
@@ -38,7 +48,8 @@ class AvgPool2d : public Layer {
 
  private:
   int kernel_, stride_;
-  Tensor cached_input_;
+  Shape cached_shape_;
+  bool has_cache_ = false;
 };
 
 /// [N,C,H,W] -> [N,C]; replaces FC heads under the F3 transform.
@@ -54,7 +65,8 @@ class GlobalAvgPool : public Layer {
   std::unique_ptr<Layer> clone() const override;
 
  private:
-  Tensor cached_input_;
+  Shape cached_shape_;
+  bool has_cache_ = false;
 };
 
 }  // namespace cadmc::nn

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.h"
 #include "tensor/ops_vector.h"
 #include "util/logging.h"
 
@@ -99,6 +100,16 @@ KernelMode kernel_mode() {
     return KernelMode::kDeterministic;
   }
   return requested;
+}
+
+void note_fast_fallback(const char* op) {
+  if (obs::enabled()) obs::count("cadmc.kernel.fast_fallbacks", 1);
+  static std::once_flag warned;
+  std::call_once(warned, [op] {
+    util::log_warn() << "fast kernel mode requested but '" << op
+                     << "' has no vectorized path; running its deterministic "
+                        "kernels (counted in cadmc.kernel.fast_fallbacks)";
+  });
 }
 
 }  // namespace cadmc::tensor

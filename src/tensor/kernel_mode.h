@@ -59,4 +59,13 @@ KernelMode requested_kernel_mode();
 /// an unparseable CADMC_KERNEL_MODE value warns once.
 KernelMode kernel_mode();
 
+/// Called by ops whose only implementation is the deterministic one when a
+/// fast-mode run reaches them (softmax/loss kernels, batchnorm, the
+/// avgpool2d backward scatter): increments the
+/// `cadmc.kernel.fast_fallbacks` counter (when metrics are enabled) and
+/// logs a once-per-process warning naming the first such op, so profile
+/// runs can't silently mix modes. Ops whose fast path is bitwise-identical
+/// by construction (maxpool, relu) are mode-neutral and do not count.
+void note_fast_fallback(const char* op);
+
 }  // namespace cadmc::tensor

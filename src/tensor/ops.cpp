@@ -679,139 +679,7 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
   return grads;
 }
 
-MaxPoolResult maxpool2d(const Tensor& input, int kernel, int stride) {
-  const int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
-  const int ho = conv_out_size(h, kernel, stride, 0);
-  const int wo = conv_out_size(w, kernel, stride, 0);
-  if (ho <= 0 || wo <= 0) throw std::invalid_argument("maxpool2d: empty output");
-  MaxPoolResult result;
-  result.output = Tensor({n, c, ho, wo});
-  result.argmax.resize(static_cast<std::size_t>(result.output.numel()));
-  std::int64_t out_idx = 0;
-  for (int b = 0; b < n; ++b) {
-    for (int ch = 0; ch < c; ++ch) {
-      for (int oy = 0; oy < ho; ++oy) {
-        for (int ox = 0; ox < wo; ++ox) {
-          float best = -3.4e38f;
-          std::int64_t best_idx = -1;
-          for (int ky = 0; ky < kernel; ++ky) {
-            const int iy = oy * stride + ky;
-            if (iy >= h) continue;
-            for (int kx = 0; kx < kernel; ++kx) {
-              const int ix = ox * stride + kx;
-              if (ix >= w) continue;
-              const std::int64_t flat =
-                  ((static_cast<std::int64_t>(b) * c + ch) * h + iy) * w + ix;
-              const float v = input.at(flat);
-              if (v > best) {
-                best = v;
-                best_idx = flat;
-              }
-            }
-          }
-          result.output.at(out_idx) = best;
-          result.argmax[static_cast<std::size_t>(out_idx)] = best_idx;
-          ++out_idx;
-        }
-      }
-    }
-  }
-  return result;
-}
-
-Tensor maxpool2d_backward(const Tensor& input, const MaxPoolResult& fwd,
-                          const Tensor& grad_out) {
-  Tensor grad_in(input.shape());
-  for (std::int64_t i = 0; i < grad_out.numel(); ++i)
-    grad_in.at(fwd.argmax[static_cast<std::size_t>(i)]) += grad_out.at(i);
-  return grad_in;
-}
-
-Tensor avgpool2d(const Tensor& input, int kernel, int stride) {
-  const int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
-  const int ho = conv_out_size(h, kernel, stride, 0);
-  const int wo = conv_out_size(w, kernel, stride, 0);
-  if (ho <= 0 || wo <= 0) throw std::invalid_argument("avgpool2d: empty output");
-  Tensor out({n, c, ho, wo});
-  const float inv = 1.0f / static_cast<float>(kernel * kernel);
-  for (int b = 0; b < n; ++b)
-    for (int ch = 0; ch < c; ++ch)
-      for (int oy = 0; oy < ho; ++oy)
-        for (int ox = 0; ox < wo; ++ox) {
-          double acc = 0.0;
-          for (int ky = 0; ky < kernel; ++ky)
-            for (int kx = 0; kx < kernel; ++kx) {
-              const int iy = oy * stride + ky;
-              const int ix = ox * stride + kx;
-              if (iy < h && ix < w) acc += input(b, ch, iy, ix);
-            }
-          out(b, ch, oy, ox) = static_cast<float>(acc) * inv;
-        }
-  return out;
-}
-
-Tensor avgpool2d_backward(const Tensor& input, int kernel, int stride,
-                          const Tensor& grad_out) {
-  Tensor grad_in(input.shape());
-  const int h = input.dim(2), w = input.dim(3);
-  const int ho = grad_out.dim(2), wo = grad_out.dim(3);
-  const float inv = 1.0f / static_cast<float>(kernel * kernel);
-  for (int b = 0; b < input.dim(0); ++b)
-    for (int ch = 0; ch < input.dim(1); ++ch)
-      for (int oy = 0; oy < ho; ++oy)
-        for (int ox = 0; ox < wo; ++ox) {
-          const float g = grad_out(b, ch, oy, ox) * inv;
-          for (int ky = 0; ky < kernel; ++ky)
-            for (int kx = 0; kx < kernel; ++kx) {
-              const int iy = oy * stride + ky;
-              const int ix = ox * stride + kx;
-              if (iy < h && ix < w) grad_in(b, ch, iy, ix) += g;
-            }
-        }
-  return grad_in;
-}
-
-Tensor global_avgpool(const Tensor& input) {
-  const int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
-  Tensor out({n, c});
-  const float inv = 1.0f / static_cast<float>(h * w);
-  for (int b = 0; b < n; ++b)
-    for (int ch = 0; ch < c; ++ch) {
-      double acc = 0.0;
-      for (int y = 0; y < h; ++y)
-        for (int x = 0; x < w; ++x) acc += input(b, ch, y, x);
-      out(b, ch) = static_cast<float>(acc) * inv;
-    }
-  return out;
-}
-
-Tensor global_avgpool_backward(const Tensor& input, const Tensor& grad_out) {
-  const int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
-  Tensor grad_in(input.shape());
-  const float inv = 1.0f / static_cast<float>(h * w);
-  for (int b = 0; b < n; ++b)
-    for (int ch = 0; ch < c; ++ch) {
-      const float g = grad_out(b, ch) * inv;
-      for (int y = 0; y < h; ++y)
-        for (int x = 0; x < w; ++x) grad_in(b, ch, y, x) = g;
-    }
-  return grad_in;
-}
-
-Tensor softmax_rows(const Tensor& logits) {
-  if (logits.rank() != 2) throw std::invalid_argument("softmax_rows: rank-2 expected");
-  const int n = logits.dim(0), d = logits.dim(1);
-  Tensor out(logits.shape());
-  for (int i = 0; i < n; ++i) {
-    float mx = logits(i, 0);
-    for (int j = 1; j < d; ++j) mx = std::max(mx, logits(i, j));
-    double denom = 0.0;
-    for (int j = 0; j < d; ++j) denom += std::exp(static_cast<double>(logits(i, j)) - mx);
-    for (int j = 0; j < d; ++j)
-      out(i, j) = static_cast<float>(
-          std::exp(static_cast<double>(logits(i, j)) - mx) / denom);
-  }
-  return out;
-}
+// Pooling, activation, loss, batchnorm, and optimizer kernels live in
+// ops_framework.cpp.
 
 }  // namespace cadmc::tensor

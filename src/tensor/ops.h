@@ -1,5 +1,7 @@
 // Dense tensor kernels: matrix multiplication, 2-D (grouped) convolution with
-// full backward passes, pooling, and softmax.
+// full backward passes, pooling, ReLU-family activations, batch
+// normalization, softmax / cross-entropy / distillation losses, and the SGD
+// parameter update.
 //
 // The matmul family and conv2d/conv2d_backward are cache-blocked and
 // thread-parallel: they route through one register-blocked GEMM micro-kernel
@@ -31,11 +33,26 @@
 // counts — only the deterministic-vs-reference bitwise guarantee is traded
 // for speed.
 //
+// The framework ops below the conv family fall into three classes:
+//  * Exact ops (maxpool forward/backward, relu forward/backward,
+//    global_avgpool_backward): no accumulation rounding exists, so the fast
+//    path (when one exists) is bitwise-identical to the deterministic one.
+//  * Vectorized ops (avgpool2d, global_avgpool, sgd_update): the fast path
+//    accumulates/updates in fp32 FMA and carries the tolerance contract.
+//  * Deterministic-only ops (softmax/loss kernels, batchnorm,
+//    avgpool2d_backward): fast mode runs the deterministic implementation
+//    and records a once-per-process fast-fallback warning plus the
+//    cadmc.kernel.fast_fallbacks counter (tensor/kernel_mode.h).
+//
 // The paper's latency numbers still come from the analytic model in
 // src/latency, not from wall clock of these kernels — but these kernels are
 // the real-compute floor of distillation-training candidate models and of
 // executing edge slices, which is why they are blocked and parallel.
 #pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "tensor/tensor.h"
 
@@ -72,26 +89,106 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
                             bool has_bias, const Tensor& grad_out,
                             const Conv2dSpec& spec);
 
-/// Max pooling, input [N,C,H,W]. Also returns argmax indices for backward.
+/// Max pooling, input [N,C,H,W]. Windows are always fully in-bounds
+/// (padding is 0 and conv_out_size floors), and the winner is the *first*
+/// maximum in (ky, kx) scan order — the single-owner contract the backward
+/// pass routes gradients by. `with_argmax=false` (inference) skips the
+/// argmax bookkeeping and unlocks the vectorized row kernels; the output
+/// values are bitwise-identical either way (max has no rounding).
 struct MaxPoolResult {
   Tensor output;
   std::vector<std::int64_t> argmax;  // flat input index chosen per output cell
 };
-MaxPoolResult maxpool2d(const Tensor& input, int kernel, int stride);
-Tensor maxpool2d_backward(const Tensor& input, const MaxPoolResult& fwd,
+MaxPoolResult maxpool2d(const Tensor& input, int kernel, int stride,
+                        bool with_argmax = true);
+/// Routes each output-cell gradient to its recorded argmax element. Needs
+/// only the forward argmax and the input *shape* — callers don't have to
+/// retain the input tensor.
+Tensor maxpool2d_backward(const Shape& input_shape,
+                          const std::vector<std::int64_t>& argmax,
                           const Tensor& grad_out);
 
-/// Average pooling over kernel x kernel windows.
+/// Average pooling over kernel x kernel windows (windows fully in-bounds).
 Tensor avgpool2d(const Tensor& input, int kernel, int stride);
-Tensor avgpool2d_backward(const Tensor& input, int kernel, int stride,
+Tensor avgpool2d_backward(const Shape& input_shape, int kernel, int stride,
                           const Tensor& grad_out);
 
 /// Global average pooling: [N,C,H,W] -> [N,C].
 Tensor global_avgpool(const Tensor& input);
-Tensor global_avgpool_backward(const Tensor& input, const Tensor& grad_out);
+Tensor global_avgpool_backward(const Shape& input_shape,
+                               const Tensor& grad_out);
+
+/// Element-wise ReLU; cap > 0 additionally clamps to [0, cap] (ReLU6).
+/// Exact in both kernel modes (no accumulation).
+Tensor relu(const Tensor& input, float cap = 0.0f);
+/// Backward of relu: passes grad where 0 < x (and x < cap when capped).
+Tensor relu_backward(const Tensor& input, const Tensor& grad_out,
+                     float cap = 0.0f);
 
 /// Row-wise softmax of a [N,D] tensor (numerically stable).
 Tensor softmax_rows(const Tensor& logits);
+
+/// A scalar loss plus its gradient w.r.t. the logits (already averaged over
+/// the batch).
+struct RowLossResult {
+  double loss = 0.0;
+  Tensor grad;
+};
+
+/// Fused softmax + cross-entropy over [N,C] logits: loss is the mean
+/// negative log-likelihood, grad is (softmax - onehot)/N. One pass, no
+/// probability tensor materialized beyond the gradient itself. Per-row work
+/// is independent (parallel); the per-row loss terms are summed serially in
+/// row order, so the result is identical for any thread count.
+RowLossResult softmax_xent_rows(const Tensor& logits,
+                                const std::vector<int>& labels);
+
+/// Fused distillation soft loss: T^2 * KL(p_T || q_T) with
+/// q_T = softmax(student/T), p_T = softmax(teacher/T), and
+/// grad = T*(q_T - p_T)/N. The temperature-softened probability rows live
+/// in per-thread scratch — no [N,C] temporaries are allocated.
+RowLossResult kd_softmax_rows(const Tensor& student_logits,
+                              const Tensor& teacher_logits,
+                              double temperature);
+
+/// Training-mode 2-D batch normalization over [N,C,H,W]: per-channel batch
+/// mean/var (double accumulation, (b,y,x) ascending), normalized
+/// activations cached for backward, gamma*norm + beta output.
+struct BatchNorm2dFwd {
+  Tensor output;
+  Tensor norm;                  // (x - mean) * inv_std, cached for backward
+  std::vector<float> mean, var; // per-channel batch statistics
+  std::vector<float> inv_std;   // 1/sqrt(var + eps), rounded to float
+};
+BatchNorm2dFwd batchnorm2d_train(const Tensor& input, const Tensor& gamma,
+                                 const Tensor& beta, float eps);
+
+/// Inference-mode batchnorm using running statistics.
+Tensor batchnorm2d_infer(const Tensor& input, const Tensor& gamma,
+                         const Tensor& beta, const Tensor& running_mean,
+                         const Tensor& running_var, float eps);
+
+/// Backward of batchnorm2d_train. `norm` and `inv_std` come from the
+/// forward result; gamma/beta grads are returned (not accumulated).
+struct BatchNorm2dGrads {
+  Tensor input;
+  Tensor gamma;
+  Tensor beta;
+};
+BatchNorm2dGrads batchnorm2d_backward(const Tensor& grad_out,
+                                      const Tensor& norm, const Tensor& gamma,
+                                      const std::vector<float>& inv_std);
+
+/// Fused SGD parameter update, one raw-pointer sweep per tensor:
+///   g' = grad[j] + weight_decay * param[j]
+///   velocity[j] = momentum * velocity[j] + g'   (when velocity is non-empty)
+///   param[j]   -= lr * (velocity[j] | g')
+/// Pass an empty velocity span for plain SGD. Each element is owned by one
+/// task, so results are thread-count invariant; the fast path runs fused
+/// FMA (vec::sgd_update_f32) under the tolerance contract.
+void sgd_update(std::span<float> param, std::span<const float> grad,
+                std::span<float> velocity, float lr, float momentum,
+                float weight_decay);
 
 /// Naive single-threaded loop-nest kernels implementing the same
 /// element-wise accumulation spec as the blocked kernels above. They are the
@@ -108,6 +205,36 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
 Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
                             bool has_bias, const Tensor& grad_out,
                             const Conv2dSpec& spec);
+MaxPoolResult maxpool2d(const Tensor& input, int kernel, int stride);
+Tensor maxpool2d_backward(const Shape& input_shape,
+                          const std::vector<std::int64_t>& argmax,
+                          const Tensor& grad_out);
+Tensor avgpool2d(const Tensor& input, int kernel, int stride);
+Tensor avgpool2d_backward(const Shape& input_shape, int kernel, int stride,
+                          const Tensor& grad_out);
+Tensor global_avgpool(const Tensor& input);
+Tensor global_avgpool_backward(const Shape& input_shape,
+                               const Tensor& grad_out);
+Tensor relu(const Tensor& input, float cap = 0.0f);
+Tensor relu_backward(const Tensor& input, const Tensor& grad_out,
+                     float cap = 0.0f);
+Tensor softmax_rows(const Tensor& logits);
+RowLossResult softmax_xent_rows(const Tensor& logits,
+                                const std::vector<int>& labels);
+RowLossResult kd_softmax_rows(const Tensor& student_logits,
+                              const Tensor& teacher_logits,
+                              double temperature);
+BatchNorm2dFwd batchnorm2d_train(const Tensor& input, const Tensor& gamma,
+                                 const Tensor& beta, float eps);
+Tensor batchnorm2d_infer(const Tensor& input, const Tensor& gamma,
+                         const Tensor& beta, const Tensor& running_mean,
+                         const Tensor& running_var, float eps);
+BatchNorm2dGrads batchnorm2d_backward(const Tensor& grad_out,
+                                      const Tensor& norm, const Tensor& gamma,
+                                      const std::vector<float>& inv_std);
+void sgd_update(std::span<float> param, std::span<const float> grad,
+                std::span<float> velocity, float lr, float momentum,
+                float weight_decay);
 }  // namespace reference
 
 }  // namespace cadmc::tensor

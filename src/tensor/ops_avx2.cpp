@@ -223,6 +223,166 @@ float dot_f32(const float* x, const float* y, int n) {
   return total;
 }
 
+float sum_f32(const float* x, int n) {
+  __m256 acc = _mm256_setzero_ps();
+  int j = 0;
+  for (; j + kNR <= n; j += kNR)
+    acc = _mm256_add_ps(acc, _mm256_loadu_ps(x + j));
+  alignas(32) float lanes[kNR];
+  _mm256_store_ps(lanes, acc);
+  float total = ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5])) +
+                ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]));
+  for (; j < n; ++j) total += x[j];
+  return total;
+}
+
+void relu_f32(const float* x, float* y, std::int64_t n, float cap) {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 capv = _mm256_set1_ps(cap);
+  std::int64_t j = 0;
+  if (cap > 0.0f) {
+    for (; j + kNR <= n; j += kNR)
+      _mm256_storeu_ps(
+          y + j,
+          _mm256_min_ps(_mm256_max_ps(_mm256_loadu_ps(x + j), zero), capv));
+    for (; j < n; ++j) y[j] = std::min(std::max(x[j], 0.0f), cap);
+  } else {
+    for (; j + kNR <= n; j += kNR)
+      _mm256_storeu_ps(y + j, _mm256_max_ps(_mm256_loadu_ps(x + j), zero));
+    for (; j < n; ++j) y[j] = std::max(x[j], 0.0f);
+  }
+}
+
+namespace {
+
+// Scalar window scan matching the deterministic first-max-wins contract;
+// used for the ragged tail of each vectorized output row.
+inline float maxpool_cell(const float* w0, int w, int kernel) {
+  float best = w0[0];
+  for (int ky = 0; ky < kernel; ++ky)
+    for (int kx = 0; kx < kernel; ++kx) {
+      const float v = w0[static_cast<std::ptrdiff_t>(ky) * w + kx];
+      if (v > best) best = v;
+    }
+  return best;
+}
+
+inline float avgpool_cell(const float* w0, int w, int kernel, float inv) {
+  float acc = 0.0f;
+  for (int ky = 0; ky < kernel; ++ky)
+    for (int kx = 0; kx < kernel; ++kx)
+      acc += w0[static_cast<std::ptrdiff_t>(ky) * w + kx];
+  return acc * inv;
+}
+
+}  // namespace
+
+void maxpool_row_f32(const float* row0, int w, int kernel, int stride, int wo,
+                     float* out) {
+  // `_mm256_max_ps(candidate, acc)` returns acc on ties and when the
+  // candidate is NaN — exactly the scalar `if (v > best)` scan — so the
+  // vector path stays bitwise-identical even for ±0.0f and NaN inputs.
+  int ox = 0;
+  if (stride == 1) {
+    for (; ox + kNR <= wo; ox += kNR) {
+      const float* base = row0 + ox;
+      __m256 acc = _mm256_loadu_ps(base);  // (ky=0, kx=0) seeds the scan
+      for (int ky = 0; ky < kernel; ++ky) {
+        const float* r = base + static_cast<std::ptrdiff_t>(ky) * w;
+        for (int kx = ky == 0 ? 1 : 0; kx < kernel; ++kx)
+          acc = _mm256_max_ps(_mm256_loadu_ps(r + kx), acc);
+      }
+      _mm256_storeu_ps(out + ox, acc);
+    }
+  } else {
+    const __m256i idx = _mm256_setr_epi32(0, stride, 2 * stride, 3 * stride,
+                                          4 * stride, 5 * stride, 6 * stride,
+                                          7 * stride);
+    for (; ox + kNR <= wo; ox += kNR) {
+      const float* base = row0 + static_cast<std::ptrdiff_t>(ox) * stride;
+      __m256 acc = _mm256_i32gather_ps(base, idx, 4);
+      for (int ky = 0; ky < kernel; ++ky) {
+        const float* r = base + static_cast<std::ptrdiff_t>(ky) * w;
+        for (int kx = ky == 0 ? 1 : 0; kx < kernel; ++kx)
+          acc = _mm256_max_ps(_mm256_i32gather_ps(r + kx, idx, 4), acc);
+      }
+      _mm256_storeu_ps(out + ox, acc);
+    }
+  }
+  for (; ox < wo; ++ox)
+    out[ox] = maxpool_cell(row0 + static_cast<std::ptrdiff_t>(ox) * stride, w,
+                           kernel);
+}
+
+void avgpool_row_f32(const float* row0, int w, int kernel, int stride, int wo,
+                     float inv, float* out) {
+  const __m256 invv = _mm256_set1_ps(inv);
+  int ox = 0;
+  if (stride == 1) {
+    for (; ox + kNR <= wo; ox += kNR) {
+      const float* base = row0 + ox;
+      __m256 acc = _mm256_setzero_ps();
+      for (int ky = 0; ky < kernel; ++ky) {
+        const float* r = base + static_cast<std::ptrdiff_t>(ky) * w;
+        for (int kx = 0; kx < kernel; ++kx)
+          acc = _mm256_add_ps(acc, _mm256_loadu_ps(r + kx));
+      }
+      _mm256_storeu_ps(out + ox, _mm256_mul_ps(acc, invv));
+    }
+  } else {
+    const __m256i idx = _mm256_setr_epi32(0, stride, 2 * stride, 3 * stride,
+                                          4 * stride, 5 * stride, 6 * stride,
+                                          7 * stride);
+    for (; ox + kNR <= wo; ox += kNR) {
+      const float* base = row0 + static_cast<std::ptrdiff_t>(ox) * stride;
+      __m256 acc = _mm256_setzero_ps();
+      for (int ky = 0; ky < kernel; ++ky) {
+        const float* r = base + static_cast<std::ptrdiff_t>(ky) * w;
+        for (int kx = 0; kx < kernel; ++kx)
+          acc = _mm256_add_ps(acc, _mm256_i32gather_ps(r + kx, idx, 4));
+      }
+      _mm256_storeu_ps(out + ox, _mm256_mul_ps(acc, invv));
+    }
+  }
+  for (; ox < wo; ++ox)
+    out[ox] = avgpool_cell(row0 + static_cast<std::ptrdiff_t>(ox) * stride, w,
+                           kernel, inv);
+}
+
+void sgd_update_f32(float* p, const float* g, float* v, std::int64_t n,
+                    float lr, float momentum, float weight_decay) {
+  const __m256 wdv = _mm256_set1_ps(weight_decay);
+  const __m256 mov = _mm256_set1_ps(momentum);
+  const __m256 lrv = _mm256_set1_ps(lr);
+  std::int64_t j = 0;
+  if (v) {
+    for (; j + kNR <= n; j += kNR) {
+      __m256 pv = _mm256_loadu_ps(p + j);
+      const __m256 grad = _mm256_fmadd_ps(wdv, pv, _mm256_loadu_ps(g + j));
+      const __m256 vv = _mm256_fmadd_ps(mov, _mm256_loadu_ps(v + j), grad);
+      pv = _mm256_fnmadd_ps(lrv, vv, pv);
+      _mm256_storeu_ps(v + j, vv);
+      _mm256_storeu_ps(p + j, pv);
+    }
+    for (; j < n; ++j) {
+      const float grad = g[j] + weight_decay * p[j];
+      v[j] = momentum * v[j] + grad;
+      p[j] -= lr * v[j];
+    }
+  } else {
+    for (; j + kNR <= n; j += kNR) {
+      __m256 pv = _mm256_loadu_ps(p + j);
+      const __m256 grad = _mm256_fmadd_ps(wdv, pv, _mm256_loadu_ps(g + j));
+      pv = _mm256_fnmadd_ps(lrv, grad, pv);
+      _mm256_storeu_ps(p + j, pv);
+    }
+    for (; j < n; ++j) {
+      const float grad = g[j] + weight_decay * p[j];
+      p[j] -= lr * grad;
+    }
+  }
+}
+
 }  // namespace cadmc::tensor::vec
 
 #else  // !(__AVX2__ && __FMA__): stub build for non-x86 or old toolchains.
@@ -253,6 +413,23 @@ void depthwise_plane_f32(const float*, const float*, float, int, int, int,
 void axpy_f32(float, const float*, float*, int) { not_compiled(); }
 
 float dot_f32(const float*, const float*, int) { not_compiled(); }
+
+float sum_f32(const float*, int) { not_compiled(); }
+
+void relu_f32(const float*, float*, std::int64_t, float) { not_compiled(); }
+
+void maxpool_row_f32(const float*, int, int, int, int, float*) {
+  not_compiled();
+}
+
+void avgpool_row_f32(const float*, int, int, int, int, float, float*) {
+  not_compiled();
+}
+
+void sgd_update_f32(float*, const float*, float*, std::int64_t, float, float,
+                    float) {
+  not_compiled();
+}
 
 }  // namespace cadmc::tensor::vec
 

@@ -55,6 +55,34 @@ inline void check_rank2(const Tensor& t, const char* name) {
     throw std::invalid_argument(std::string(name) + ": expected rank-2 tensor");
 }
 
+/// Derived pooling geometry, validated once per call. Pooling is unpadded,
+/// so conv_out_size guarantees every window is fully in-bounds:
+/// (ho-1)*stride + kernel - 1 <= h - 1. Kernels rely on this (no edge
+/// checks in the window scans).
+struct PoolDims {
+  int n, c, h, w;  // input [N,C,H,W]
+  int ho, wo;      // output spatial dims
+};
+
+inline PoolDims check_pool_args(const Tensor& input, int kernel, int stride,
+                                const char* name) {
+  if (input.rank() != 4)
+    throw std::invalid_argument(std::string(name) + ": expected [N,C,H,W]");
+  if (kernel <= 0 || stride <= 0)
+    throw std::invalid_argument(std::string(name) +
+                                ": kernel/stride must be positive");
+  PoolDims d;
+  d.n = input.dim(0);
+  d.c = input.dim(1);
+  d.h = input.dim(2);
+  d.w = input.dim(3);
+  d.ho = conv_out_size(d.h, kernel, stride, 0);
+  d.wo = conv_out_size(d.w, kernel, stride, 0);
+  if (d.ho <= 0 || d.wo <= 0)
+    throw std::invalid_argument(std::string(name) + ": empty output");
+  return d;
+}
+
 /// Derived convolution geometry, validated once per call.
 struct ConvDims {
   int n, ci, h, w;       // input [N,Ci,H,W]

@@ -16,12 +16,35 @@
 //                                  channels (oc ascending) — the subtotal
 //                                  mirrors the blocked path's dcol element,
 //                                  which is also held in double.
+//
+// Framework ops (per output element):
+//   maxpool2d         strictly-greater scan over (ky, kx) ascending; the
+//                     FIRST maximum wins — the single-owner contract the
+//                     backward pass routes each gradient by. Max has no
+//                     rounding, so every mode is bitwise-identical here.
+//   avgpool2d         double sum over (ky, kx) ascending, rounded to float
+//                     once, then multiplied by the float 1/(k*k).
+//   avgpool backward  scatter of grad*inv over (oy, ox, ky, kx) ascending
+//                     within each (b, c) plane (float adds).
+//   softmax family    per row: float max scan (j ascending), double
+//                     denominator sum (j ascending), each probability
+//                     rounded to float independently. Loss terms are per-row
+//                     double subtotals summed in row order.
+//   batchnorm         per channel: double mean/var/backward sums over
+//                     (b, y, x) ascending; normalization in float.
+//   sgd_update        per element: g' = g + wd*p; v = m*v + g'; p -= lr*v —
+//                     separate float ops (the TU builds with
+//                     -ffp-contract=off, so nothing fuses).
+#include <algorithm>
+#include <cmath>
+
 #include "tensor/ops.h"
 #include "tensor/ops_detail.h"
 
 namespace cadmc::tensor::reference {
 
 using detail::ConvDims;
+using detail::PoolDims;
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   detail::check_rank2(a, "matmul a");
@@ -188,6 +211,364 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
     }
   }
   return grads;
+}
+
+MaxPoolResult maxpool2d(const Tensor& input, int kernel, int stride) {
+  const PoolDims d = detail::check_pool_args(input, kernel, stride, "maxpool2d");
+  MaxPoolResult result;
+  result.output = Tensor({d.n, d.c, d.ho, d.wo});
+  result.argmax.resize(static_cast<std::size_t>(result.output.numel()));
+  std::int64_t out_idx = 0;
+  for (int b = 0; b < d.n; ++b)
+    for (int ch = 0; ch < d.c; ++ch)
+      for (int oy = 0; oy < d.ho; ++oy)
+        for (int ox = 0; ox < d.wo; ++ox) {
+          const std::int64_t base =
+              ((static_cast<std::int64_t>(b) * d.c + ch) * d.h + oy * stride) *
+                  d.w +
+              ox * stride;
+          float best = input.at(base);
+          std::int64_t best_idx = base;
+          for (int ky = 0; ky < kernel; ++ky)
+            for (int kx = 0; kx < kernel; ++kx) {
+              const std::int64_t flat =
+                  base + static_cast<std::int64_t>(ky) * d.w + kx;
+              const float v = input.at(flat);
+              if (v > best) {
+                best = v;
+                best_idx = flat;
+              }
+            }
+          result.output.at(out_idx) = best;
+          result.argmax[static_cast<std::size_t>(out_idx)] = best_idx;
+          ++out_idx;
+        }
+  return result;
+}
+
+Tensor maxpool2d_backward(const Shape& input_shape,
+                          const std::vector<std::int64_t>& argmax,
+                          const Tensor& grad_out) {
+  if (argmax.size() != static_cast<std::size_t>(grad_out.numel()))
+    throw std::invalid_argument("maxpool2d_backward: argmax/grad size mismatch");
+  Tensor grad_in(input_shape);
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i)
+    grad_in.at(argmax[static_cast<std::size_t>(i)]) += grad_out.at(i);
+  return grad_in;
+}
+
+Tensor avgpool2d(const Tensor& input, int kernel, int stride) {
+  const PoolDims d = detail::check_pool_args(input, kernel, stride, "avgpool2d");
+  Tensor out({d.n, d.c, d.ho, d.wo});
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  for (int b = 0; b < d.n; ++b)
+    for (int ch = 0; ch < d.c; ++ch)
+      for (int oy = 0; oy < d.ho; ++oy)
+        for (int ox = 0; ox < d.wo; ++ox) {
+          double acc = 0.0;
+          for (int ky = 0; ky < kernel; ++ky)
+            for (int kx = 0; kx < kernel; ++kx)
+              acc += input(b, ch, oy * stride + ky, ox * stride + kx);
+          out(b, ch, oy, ox) = static_cast<float>(acc) * inv;
+        }
+  return out;
+}
+
+Tensor avgpool2d_backward(const Shape& input_shape, int kernel, int stride,
+                          const Tensor& grad_out) {
+  Tensor grad_in(input_shape);
+  const int ho = grad_out.dim(2), wo = grad_out.dim(3);
+  const float inv = 1.0f / static_cast<float>(kernel * kernel);
+  for (int b = 0; b < grad_out.dim(0); ++b)
+    for (int ch = 0; ch < grad_out.dim(1); ++ch)
+      for (int oy = 0; oy < ho; ++oy)
+        for (int ox = 0; ox < wo; ++ox) {
+          const float g = grad_out(b, ch, oy, ox) * inv;
+          for (int ky = 0; ky < kernel; ++ky)
+            for (int kx = 0; kx < kernel; ++kx)
+              grad_in(b, ch, oy * stride + ky, ox * stride + kx) += g;
+        }
+  return grad_in;
+}
+
+Tensor global_avgpool(const Tensor& input) {
+  if (input.rank() != 4)
+    throw std::invalid_argument("global_avgpool: expected [N,C,H,W]");
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  Tensor out({n, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      double acc = 0.0;
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) acc += input(b, ch, y, x);
+      out(b, ch) = static_cast<float>(acc) * inv;
+    }
+  return out;
+}
+
+Tensor global_avgpool_backward(const Shape& input_shape,
+                               const Tensor& grad_out) {
+  Tensor grad_in(input_shape);
+  const int n = input_shape[0], c = input_shape[1], h = input_shape[2],
+            w = input_shape[3];
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      const float g = grad_out(b, ch) * inv;
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) grad_in(b, ch, y, x) = g;
+    }
+  return grad_in;
+}
+
+Tensor relu(const Tensor& input, float cap) {
+  Tensor out = input;
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    float v = out.at(i);
+    if (v < 0.0f) v = 0.0f;
+    if (cap > 0.0f && v > cap) v = cap;
+    out.at(i) = v;
+  }
+  return out;
+}
+
+Tensor relu_backward(const Tensor& input, const Tensor& grad_out, float cap) {
+  if (input.numel() != grad_out.numel())
+    throw std::invalid_argument("relu_backward: shape mismatch");
+  Tensor grad_in = grad_out;
+  for (std::int64_t i = 0; i < grad_in.numel(); ++i) {
+    const float x = input.at(i);
+    const bool pass = x > 0.0f && (cap <= 0.0f || x < cap);
+    if (!pass) grad_in.at(i) = 0.0f;
+  }
+  return grad_in;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  detail::check_rank2(logits, "softmax_rows");
+  const int n = logits.dim(0), d = logits.dim(1);
+  Tensor out(logits.shape());
+  for (int i = 0; i < n; ++i) {
+    float mx = logits(i, 0);
+    for (int j = 1; j < d; ++j) mx = std::max(mx, logits(i, j));
+    double denom = 0.0;
+    for (int j = 0; j < d; ++j)
+      denom += std::exp(static_cast<double>(logits(i, j)) - mx);
+    for (int j = 0; j < d; ++j)
+      out(i, j) = static_cast<float>(
+          std::exp(static_cast<double>(logits(i, j)) - mx) / denom);
+  }
+  return out;
+}
+
+RowLossResult softmax_xent_rows(const Tensor& logits,
+                                const std::vector<int>& labels) {
+  detail::check_rank2(logits, "softmax_xent_rows");
+  const int n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<int>(labels.size()) != n)
+    throw std::invalid_argument("softmax_xent_rows: label count mismatch");
+  for (int i = 0; i < n; ++i)
+    if (labels[static_cast<std::size_t>(i)] < 0 ||
+        labels[static_cast<std::size_t>(i)] >= c)
+      throw std::invalid_argument("softmax_xent_rows: bad label");
+  RowLossResult result;
+  result.grad = Tensor({n, c});
+  const float invn = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    float mx = logits(i, 0);
+    for (int j = 1; j < c; ++j) mx = std::max(mx, logits(i, j));
+    double denom = 0.0;
+    for (int j = 0; j < c; ++j)
+      denom += std::exp(static_cast<double>(logits(i, j)) - mx);
+    for (int j = 0; j < c; ++j)
+      result.grad(i, j) = static_cast<float>(
+          std::exp(static_cast<double>(logits(i, j)) - mx) / denom);
+    const int y = labels[static_cast<std::size_t>(i)];
+    loss -= std::log(
+        std::max(1e-12, static_cast<double>(result.grad(i, y))));
+    result.grad(i, y) -= 1.0f;
+    for (int j = 0; j < c; ++j) result.grad(i, j) *= invn;
+  }
+  result.loss = loss / n;
+  return result;
+}
+
+RowLossResult kd_softmax_rows(const Tensor& student_logits,
+                              const Tensor& teacher_logits,
+                              double temperature) {
+  detail::check_rank2(student_logits, "kd_softmax_rows student");
+  detail::check_rank2(teacher_logits, "kd_softmax_rows teacher");
+  const int n = student_logits.dim(0), c = student_logits.dim(1);
+  if (teacher_logits.dim(0) != n || teacher_logits.dim(1) != c)
+    throw std::invalid_argument("kd_softmax_rows: shape mismatch");
+  const float inv_t = static_cast<float>(1.0 / temperature);
+  const float invn = 1.0f / static_cast<float>(n);
+  RowLossResult result;
+  result.grad = Tensor({n, c});
+  std::vector<float> q(static_cast<std::size_t>(c));
+  std::vector<float> p(static_cast<std::size_t>(c));
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto soften = [&](const Tensor& logits, std::vector<float>& out) {
+      for (int j = 0; j < c; ++j)
+        out[static_cast<std::size_t>(j)] = logits(i, j) * inv_t;
+      float mx = out[0];
+      for (int j = 1; j < c; ++j)
+        mx = std::max(mx, out[static_cast<std::size_t>(j)]);
+      double denom = 0.0;
+      for (int j = 0; j < c; ++j)
+        denom += std::exp(
+            static_cast<double>(out[static_cast<std::size_t>(j)]) - mx);
+      for (int j = 0; j < c; ++j)
+        out[static_cast<std::size_t>(j)] = static_cast<float>(
+            std::exp(static_cast<double>(out[static_cast<std::size_t>(j)]) -
+                     mx) /
+            denom);
+    };
+    soften(student_logits, q);
+    soften(teacher_logits, p);
+    double row = 0.0;
+    for (int j = 0; j < c; ++j) {
+      const double pij = p[static_cast<std::size_t>(j)];
+      const double qij =
+          std::max(1e-12, static_cast<double>(q[static_cast<std::size_t>(j)]));
+      if (pij > 1e-12) row += pij * std::log(pij / qij);
+      result.grad(i, j) = static_cast<float>(
+          temperature *
+          (q[static_cast<std::size_t>(j)] - p[static_cast<std::size_t>(j)]));
+      result.grad(i, j) *= invn;
+    }
+    loss += row;
+  }
+  result.loss = loss * temperature * temperature / n;
+  return result;
+}
+
+BatchNorm2dFwd batchnorm2d_train(const Tensor& input, const Tensor& gamma,
+                                 const Tensor& beta, float eps) {
+  if (input.rank() != 4)
+    throw std::invalid_argument("batchnorm2d_train: expected [N,C,H,W]");
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  if (gamma.numel() != c || beta.numel() != c)
+    throw std::invalid_argument("batchnorm2d_train: gamma/beta size mismatch");
+  const std::int64_t per_channel = static_cast<std::int64_t>(n) * h * w;
+  BatchNorm2dFwd fwd;
+  fwd.output = Tensor(input.shape());
+  fwd.norm = Tensor(input.shape());
+  fwd.mean.assign(static_cast<std::size_t>(c), 0.0f);
+  fwd.var.assign(static_cast<std::size_t>(c), 0.0f);
+  fwd.inv_std.assign(static_cast<std::size_t>(c), 0.0f);
+  for (int ch = 0; ch < c; ++ch) {
+    double mean = 0.0;
+    for (int b = 0; b < n; ++b)
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) mean += input(b, ch, y, x);
+    mean /= static_cast<double>(per_channel);
+    double var = 0.0;
+    for (int b = 0; b < n; ++b)
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) {
+          const double d = input(b, ch, y, x) - mean;
+          var += d * d;
+        }
+    var /= static_cast<double>(per_channel);
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps));
+    fwd.mean[static_cast<std::size_t>(ch)] = static_cast<float>(mean);
+    fwd.var[static_cast<std::size_t>(ch)] = static_cast<float>(var);
+    fwd.inv_std[static_cast<std::size_t>(ch)] = inv_std;
+    for (int b = 0; b < n; ++b)
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) {
+          const float norm =
+              (input(b, ch, y, x) - static_cast<float>(mean)) * inv_std;
+          fwd.norm(b, ch, y, x) = norm;
+          fwd.output(b, ch, y, x) = gamma.at(ch) * norm + beta.at(ch);
+        }
+  }
+  return fwd;
+}
+
+Tensor batchnorm2d_infer(const Tensor& input, const Tensor& gamma,
+                         const Tensor& beta, const Tensor& running_mean,
+                         const Tensor& running_var, float eps) {
+  if (input.rank() != 4)
+    throw std::invalid_argument("batchnorm2d_infer: expected [N,C,H,W]");
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  Tensor out(input.shape());
+  for (int ch = 0; ch < c; ++ch) {
+    const float inv_std = 1.0f / std::sqrt(running_var.at(ch) + eps);
+    for (int b = 0; b < n; ++b)
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+          out(b, ch, y, x) =
+              gamma.at(ch) * (input(b, ch, y, x) - running_mean.at(ch)) *
+                  inv_std +
+              beta.at(ch);
+  }
+  return out;
+}
+
+BatchNorm2dGrads batchnorm2d_backward(const Tensor& grad_out,
+                                      const Tensor& norm, const Tensor& gamma,
+                                      const std::vector<float>& inv_std) {
+  if (grad_out.rank() != 4)
+    throw std::invalid_argument("batchnorm2d_backward: expected [N,C,H,W]");
+  const int n = grad_out.dim(0), c = grad_out.dim(1), h = grad_out.dim(2),
+            w = grad_out.dim(3);
+  const double m = static_cast<double>(n) * h * w;
+  BatchNorm2dGrads grads;
+  grads.input = Tensor(grad_out.shape());
+  grads.gamma = Tensor({c});
+  grads.beta = Tensor({c});
+  for (int ch = 0; ch < c; ++ch) {
+    double sum_dy = 0.0, sum_dy_norm = 0.0;
+    for (int b = 0; b < n; ++b)
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) {
+          const double dy = grad_out(b, ch, y, x);
+          sum_dy += dy;
+          sum_dy_norm += dy * norm(b, ch, y, x);
+        }
+    grads.gamma.at(ch) = static_cast<float>(sum_dy_norm);
+    grads.beta.at(ch) = static_cast<float>(sum_dy);
+    const double g = gamma.at(ch);
+    const double is = inv_std[static_cast<std::size_t>(ch)];
+    for (int b = 0; b < n; ++b)
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) {
+          const double dy = grad_out(b, ch, y, x);
+          const double nm = norm(b, ch, y, x);
+          grads.input(b, ch, y, x) = static_cast<float>(
+              g * is * (dy - sum_dy / m - nm * sum_dy_norm / m));
+        }
+  }
+  return grads;
+}
+
+void sgd_update(std::span<float> param, std::span<const float> grad,
+                std::span<float> velocity, float lr, float momentum,
+                float weight_decay) {
+  if (grad.size() != param.size() ||
+      (!velocity.empty() && velocity.size() != param.size()))
+    throw std::invalid_argument("sgd_update: size mismatch");
+  const std::size_t n = param.size();
+  if (!velocity.empty()) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const float g = grad[j] + weight_decay * param[j];
+      velocity[j] = momentum * velocity[j] + g;
+      param[j] -= lr * velocity[j];
+    }
+  } else {
+    for (std::size_t j = 0; j < n; ++j) {
+      const float g = grad[j] + weight_decay * param[j];
+      param[j] -= lr * g;
+    }
+  }
 }
 
 }  // namespace cadmc::tensor::reference

@@ -54,4 +54,37 @@ void axpy_f32(float a, const float* x, float* y, int n);
 /// the conv-backward dweight row dot.
 float dot_f32(const float* x, const float* y, int n);
 
+/// Sum of x[0..n) with 8-lane partials reduced in a fixed lane order — the
+/// global_avgpool fp32 fast path.
+float sum_f32(const float* x, int n);
+
+/// y[j] = clamp(x[j]) where clamp is max(., 0) and, when cap > 0,
+/// min(., cap). Exact (no accumulation) — bitwise-identical to the scalar
+/// path; vectorized purely for speed.
+void relu_f32(const float* x, float* y, std::int64_t n, float cap);
+
+/// One maxpool output row: out[ox] = max over (ky, kx) ascending of
+/// row0[ky*w + ox*stride + kx], for ox in [0, wo). Windows must be fully
+/// in-bounds (pooling is unpadded). The max combine keeps the FIRST operand
+/// on ties (including -0.0f vs +0.0f) and propagates an earlier NaN exactly
+/// like the scalar strictly-greater scan, so the output values are
+/// bitwise-identical to the deterministic kernel.
+void maxpool_row_f32(const float* row0, int w, int kernel, int stride, int wo,
+                     float* out);
+
+/// One avgpool output row: out[ox] = (fp32 sum over (ky, kx) ascending of
+/// row0[ky*w + ox*stride + kx]) * inv. Tolerance contract (the
+/// deterministic kernel sums in double).
+void avgpool_row_f32(const float* row0, int w, int kernel, int stride, int wo,
+                     float inv, float* out);
+
+/// Fused SGD update sweep over n elements:
+///   grad = fma(weight_decay, p[j], g[j])
+///   v[j] = fma(momentum, v[j], grad)        (when v != nullptr)
+///   p[j] = fnma(lr, v[j] | grad, p[j])
+/// Pass v == nullptr for plain SGD. Tolerance contract vs the unfused
+/// scalar reference (FMA rounds once where the scalar path rounds twice).
+void sgd_update_f32(float* p, const float* g, float* v, std::int64_t n,
+                    float lr, float momentum, float weight_decay);
+
 }  // namespace cadmc::tensor::vec

@@ -15,12 +15,18 @@
 // Lifetime rules:
 //  * ScratchArena::local() returns this thread's arena; spans taken from it
 //    are valid until the same (slot, type) pair is requested again on the
-//    same thread, and must never be handed to another thread for writing.
+//    same thread, and must never be handed to another thread for writing —
+//    with one narrow exception: a caller-thread span may be written by
+//    parallel_for workers when every task writes a disjoint,
+//    caller-assigned element range (the per-row loss subtotals in kRowStat;
+//    no two tasks ever touch the same element, and the caller only reads
+//    the span back after the fan-out joins).
 //  * Kernels that share a scratch buffer across util::parallel_for tasks
 //    (e.g. the im2col matrix read by every GEMM task) allocate it from the
 //    *calling* thread's arena before the fan-out, and workers only read it.
-//  * Worker-private temporaries (packed panels, dcol) come from the worker's
-//    own thread-local arena inside the task body.
+//  * Worker-private temporaries (packed panels, dcol, softened probability
+//    rows) come from the worker's own thread-local arena inside the task
+//    body.
 //
 // Observability: cadmc.kernel.arena.reuse_hits counts requests served from
 // existing capacity, cadmc.kernel.arena.grows / grow_bytes count the
@@ -44,6 +50,11 @@ class ScratchArena {
     kPackA,       // packed/transposed A operand (matmul_tn)
     kColGrad,     // dcol buffer in conv2d_backward (double deterministic,
                   // float fast mode — the two element types never alias)
+    kLossRow,     // softened probability rows of the loss kernels (worker
+                  // thread, float)
+    kRowStat,     // per-row loss subtotals (double, caller thread; workers
+                  // write disjoint caller-assigned elements — see the
+                  // lifetime-rule exception above)
     kSlotCount
   };
 

@@ -20,7 +20,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -485,6 +487,342 @@ TEST(FastKernels, ThreadCountInvariance) {
   expect_bit_identical(back1.weight, back4.weight,
                        "fast dweight threads 1 vs 4");
   expect_bit_identical(back1.bias, back4.bias, "fast dbias threads 1 vs 4");
+}
+
+// --- Framework ops: pooling, activations, loss, batchnorm, SGD --------------
+
+struct PoolCase {
+  int n, c, h, w, kernel, stride;
+};
+
+// Includes overlapping windows (kernel > stride), 1x1 spatial inputs, a
+// whole-input window, ragged non-divisible shapes, and a wo >= 8 case that
+// exercises the full-width vector row path.
+const PoolCase kPoolCases[] = {
+    {1, 1, 4, 4, 2, 2},    // basic non-overlapping
+    {2, 3, 9, 9, 3, 2},    // ragged: 9 = 3 + 2*3
+    {1, 2, 5, 5, 3, 1},    // overlapping: kernel > stride
+    {1, 1, 1, 1, 1, 1},    // 1x1 spatial, 1x1 window
+    {1, 1, 7, 7, 7, 7},    // window covers the whole input
+    {1, 2, 12, 12, 3, 1},  // wo = 10 >= 8: vector row main loop + tail
+    {2, 4, 16, 16, 2, 2},  // large enough to fan out
+};
+
+void expect_bits_equal_floats(const std::vector<float>& a,
+                              const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint32_t ba, bb;
+    std::memcpy(&ba, &a[i], 4);
+    std::memcpy(&bb, &b[i], 4);
+    EXPECT_EQ(ba, bb) << what << " element " << i;
+  }
+}
+
+TEST(KernelParity, PoolingFamilyRandomized) {
+  ModeGuard mode(KernelMode::kDeterministic);
+  util::Rng rng(0x900D);
+  for (const auto& p : kPoolCases) {
+    const Tensor input = Tensor::randn({p.n, p.c, p.h, p.w}, rng);
+    const auto got = maxpool2d(input, p.kernel, p.stride);
+    const auto want = reference::maxpool2d(input, p.kernel, p.stride);
+    expect_bit_identical(got.output, want.output, "maxpool2d");
+    EXPECT_EQ(got.argmax, want.argmax) << "maxpool2d argmax";
+
+    const Tensor grad_out = Tensor::randn(got.output.shape(), rng);
+    expect_bit_identical(
+        maxpool2d_backward(input.shape(), got.argmax, grad_out),
+        reference::maxpool2d_backward(input.shape(), want.argmax, grad_out),
+        "maxpool2d_backward");
+
+    expect_bit_identical(avgpool2d(input, p.kernel, p.stride),
+                         reference::avgpool2d(input, p.kernel, p.stride),
+                         "avgpool2d");
+    expect_bit_identical(
+        avgpool2d_backward(input.shape(), p.kernel, p.stride, grad_out),
+        reference::avgpool2d_backward(input.shape(), p.kernel, p.stride,
+                                      grad_out),
+        "avgpool2d_backward");
+
+    expect_bit_identical(global_avgpool(input), reference::global_avgpool(input),
+                         "global_avgpool");
+    const Tensor gap_grad = Tensor::randn({p.n, p.c}, rng);
+    expect_bit_identical(
+        global_avgpool_backward(input.shape(), gap_grad),
+        reference::global_avgpool_backward(input.shape(), gap_grad),
+        "global_avgpool_backward");
+  }
+}
+
+// The single-owner gradient contract: on ties the FIRST maximum in the
+// (ky, kx) ascending scan owns the whole gradient — no splitting, no
+// last-wins drift between kernels.
+TEST(KernelParity, MaxPoolTieRoutesToFirstWindowElement) {
+  ModeGuard mode(KernelMode::kDeterministic);
+  Tensor input({1, 1, 2, 2});
+  for (int i = 0; i < 4; ++i) input.at(i) = 7.0f;  // 4-way tie
+  const auto fwd = maxpool2d(input, 2, 2);
+  ASSERT_EQ(fwd.argmax.size(), 1u);
+  EXPECT_EQ(fwd.argmax[0], 0);  // first element of the window wins
+  Tensor grad_out({1, 1, 1, 1});
+  grad_out.at(0) = 3.0f;
+  const Tensor grad_in = maxpool2d_backward(input.shape(), fwd.argmax, grad_out);
+  EXPECT_EQ(grad_in.at(0), 3.0f);
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(grad_in.at(i), 0.0f);
+  // -0.0f vs +0.0f: strictly-greater never promotes an equal +0.0f over an
+  // earlier -0.0f.
+  Tensor zeros({1, 1, 2, 2});
+  zeros.at(0) = -0.0f;
+  const auto zfwd = maxpool2d(zeros, 2, 2);
+  EXPECT_EQ(zfwd.argmax[0], 0);
+  EXPECT_TRUE(std::signbit(zfwd.output.at(0)));
+}
+
+TEST(KernelParity, ActivationLossBatchnormRandomized) {
+  ModeGuard mode(KernelMode::kDeterministic);
+  util::Rng rng(0xAC71);
+  const Tensor x = Tensor::randn({2, 3, 6, 6}, rng);
+  const Tensor gx = Tensor::randn({2, 3, 6, 6}, rng);
+  for (const float cap : {0.0f, 6.0f}) {
+    expect_bit_identical(relu(x, cap), reference::relu(x, cap), "relu");
+    expect_bit_identical(relu_backward(x, gx, cap),
+                         reference::relu_backward(x, gx, cap), "relu_backward");
+  }
+
+  const Tensor logits = Tensor::randn({5, 7}, rng);
+  expect_bit_identical(softmax_rows(logits), reference::softmax_rows(logits),
+                       "softmax_rows");
+  const std::vector<int> labels{0, 3, 6, 2, 1};
+  const auto xent = softmax_xent_rows(logits, labels);
+  const auto xent_ref = reference::softmax_xent_rows(logits, labels);
+  EXPECT_EQ(xent.loss, xent_ref.loss) << "softmax_xent_rows loss";
+  expect_bit_identical(xent.grad, xent_ref.grad, "softmax_xent_rows grad");
+
+  const Tensor teacher = Tensor::randn({5, 7}, rng);
+  const auto kd = kd_softmax_rows(logits, teacher, 4.0);
+  const auto kd_ref = reference::kd_softmax_rows(logits, teacher, 4.0);
+  EXPECT_EQ(kd.loss, kd_ref.loss) << "kd_softmax_rows loss";
+  expect_bit_identical(kd.grad, kd_ref.grad, "kd_softmax_rows grad");
+
+  const Tensor gamma = Tensor::randn({3}, rng);
+  const Tensor beta = Tensor::randn({3}, rng);
+  const auto bn = batchnorm2d_train(x, gamma, beta, 1e-5f);
+  const auto bn_ref = reference::batchnorm2d_train(x, gamma, beta, 1e-5f);
+  expect_bit_identical(bn.output, bn_ref.output, "batchnorm2d_train output");
+  expect_bit_identical(bn.norm, bn_ref.norm, "batchnorm2d_train norm");
+  expect_bits_equal_floats(bn.mean, bn_ref.mean, "batchnorm2d_train mean");
+  expect_bits_equal_floats(bn.var, bn_ref.var, "batchnorm2d_train var");
+  expect_bits_equal_floats(bn.inv_std, bn_ref.inv_std,
+                           "batchnorm2d_train inv_std");
+
+  const Tensor rmean = Tensor::randn({3}, rng);
+  Tensor rvar = Tensor::randn({3}, rng);
+  for (int c = 0; c < 3; ++c) rvar(c) = std::abs(rvar(c)) + 0.5f;
+  expect_bit_identical(
+      batchnorm2d_infer(x, gamma, beta, rmean, rvar, 1e-5f),
+      reference::batchnorm2d_infer(x, gamma, beta, rmean, rvar, 1e-5f),
+      "batchnorm2d_infer");
+
+  const auto bng = batchnorm2d_backward(gx, bn.norm, gamma, bn.inv_std);
+  const auto bng_ref =
+      reference::batchnorm2d_backward(gx, bn_ref.norm, gamma, bn_ref.inv_std);
+  expect_bit_identical(bng.input, bng_ref.input, "batchnorm2d_backward input");
+  expect_bit_identical(bng.gamma, bng_ref.gamma, "batchnorm2d_backward gamma");
+  expect_bit_identical(bng.beta, bng_ref.beta, "batchnorm2d_backward beta");
+}
+
+TEST(KernelParity, SgdUpdateRandomized) {
+  ModeGuard mode(KernelMode::kDeterministic);
+  util::Rng rng(0x56D0);
+  const Tensor init_p = Tensor::randn({41, 13}, rng);
+  const Tensor g = Tensor::randn({41, 13}, rng);
+  for (const bool with_momentum : {false, true}) {
+    Tensor p_got = init_p, p_want = init_p;
+    Tensor v_got({41, 13}), v_want({41, 13});
+    std::span<float> vg = with_momentum ? v_got.data() : std::span<float>{};
+    std::span<float> vw = with_momentum ? v_want.data() : std::span<float>{};
+    for (int step = 0; step < 3; ++step) {
+      sgd_update(p_got.data(), g.data(), vg, 0.05f, 0.9f, 1e-4f);
+      reference::sgd_update(p_want.data(), g.data(), vw, 0.05f, 0.9f, 1e-4f);
+    }
+    expect_bit_identical(p_got, p_want, "sgd_update params");
+    if (with_momentum)
+      expect_bit_identical(v_got, v_want, "sgd_update velocity");
+  }
+}
+
+TEST(KernelDeterminism, FrameworkOpsThreadCountInvariance) {
+  ModeGuard mode(KernelMode::kDeterministic);
+  ThreadGuard guard;
+  util::Rng rng(0x7123);
+  const Tensor input = Tensor::randn({4, 8, 16, 16}, rng);
+  const Tensor logits = Tensor::randn({64, 33}, rng);
+  const Tensor teacher = Tensor::randn({64, 33}, rng);
+  std::vector<int> labels(64);
+  for (int i = 0; i < 64; ++i) labels[static_cast<std::size_t>(i)] = i % 33;
+  const Tensor init_p = Tensor::randn({300, 300}, rng);
+  const Tensor grad = Tensor::randn({300, 300}, rng);
+
+  auto run_all = [&] {
+    struct Out {
+      MaxPoolResult mp;
+      Tensor mp_back, ap, ap_back, xg, kg, sgd_p, sgd_v;
+      double xl, kl;
+    } o;
+    o.mp = maxpool2d(input, 3, 2);
+    const Tensor pg = Tensor::ones(o.mp.output.shape());
+    o.mp_back = maxpool2d_backward(input.shape(), o.mp.argmax, pg);
+    o.ap = avgpool2d(input, 3, 2);
+    o.ap_back = avgpool2d_backward(input.shape(), 3, 2, pg);
+    auto xent = softmax_xent_rows(logits, labels);
+    o.xl = xent.loss;
+    o.xg = std::move(xent.grad);
+    auto kd = kd_softmax_rows(logits, teacher, 4.0);
+    o.kl = kd.loss;
+    o.kg = std::move(kd.grad);
+    o.sgd_p = init_p;
+    o.sgd_v = Tensor(init_p.shape());
+    sgd_update(o.sgd_p.data(), grad.data(), o.sgd_v.data(), 0.1f, 0.9f, 1e-4f);
+    return o;
+  };
+
+  util::set_configured_threads(1);
+  const auto one = run_all();
+  util::set_configured_threads(4);
+  const auto four = run_all();
+
+  expect_bit_identical(one.mp.output, four.mp.output, "maxpool threads 1 vs 4");
+  EXPECT_EQ(one.mp.argmax, four.mp.argmax) << "argmax threads 1 vs 4";
+  expect_bit_identical(one.mp_back, four.mp_back,
+                       "maxpool backward threads 1 vs 4");
+  expect_bit_identical(one.ap, four.ap, "avgpool threads 1 vs 4");
+  expect_bit_identical(one.ap_back, four.ap_back,
+                       "avgpool backward threads 1 vs 4");
+  EXPECT_EQ(one.xl, four.xl) << "xent loss threads 1 vs 4";
+  expect_bit_identical(one.xg, four.xg, "xent grad threads 1 vs 4");
+  EXPECT_EQ(one.kl, four.kl) << "kd loss threads 1 vs 4";
+  expect_bit_identical(one.kg, four.kg, "kd grad threads 1 vs 4");
+  expect_bit_identical(one.sgd_p, four.sgd_p, "sgd params threads 1 vs 4");
+  expect_bit_identical(one.sgd_v, four.sgd_v, "sgd velocity threads 1 vs 4");
+}
+
+TEST(KernelValidation, FrameworkOpShapeErrors) {
+  util::Rng rng(2);
+  const Tensor input = Tensor::randn({1, 2, 4, 4}, rng);
+  EXPECT_THROW(maxpool2d(input, 0, 1), std::invalid_argument);
+  EXPECT_THROW(maxpool2d(input, 5, 5), std::invalid_argument);  // empty output
+  const Tensor logits = Tensor::randn({2, 3}, rng);
+  EXPECT_THROW(softmax_xent_rows(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_xent_rows(logits, {0, 5}), std::invalid_argument);
+  EXPECT_THROW(kd_softmax_rows(logits, Tensor::randn({3, 3}, rng), 4.0),
+               std::invalid_argument);
+  Tensor p({4}), v({3});
+  const Tensor g = Tensor::randn({4}, rng);
+  EXPECT_THROW(sgd_update(p.data(), g.data(), v.data(), 0.1f, 0.9f, 0.0f),
+               std::invalid_argument);
+}
+
+// Maxpool and relu vector paths are exact (no accumulation): fast mode must
+// stay bitwise-identical to the reference, not just within tolerance.
+TEST(FastKernels, ExactOpsStayBitwiseIdentical) {
+  SKIP_WITHOUT_VECTOR_KERNELS();
+  ModeGuard mode(KernelMode::kFast);
+  util::Rng rng(0xFB17);
+  for (const auto& p : kPoolCases) {
+    const Tensor input = Tensor::randn({p.n, p.c, p.h, p.w}, rng);
+    // with_argmax=false unlocks the vector row kernel (inference forward).
+    expect_bit_identical(
+        maxpool2d(input, p.kernel, p.stride, /*with_argmax=*/false).output,
+        reference::maxpool2d(input, p.kernel, p.stride).output,
+        "fast maxpool2d");
+  }
+  const Tensor x = Tensor::randn({3, 5, 9, 9}, rng);
+  const Tensor gx = Tensor::randn({3, 5, 9, 9}, rng);
+  for (const float cap : {0.0f, 6.0f}) {
+    expect_bit_identical(relu(x, cap), reference::relu(x, cap), "fast relu");
+    expect_bit_identical(relu_backward(x, gx, cap),
+                         reference::relu_backward(x, gx, cap),
+                         "fast relu_backward");
+  }
+}
+
+TEST(FastKernels, VectorizedOpsWithinTolerance) {
+  SKIP_WITHOUT_VECTOR_KERNELS();
+  ModeGuard mode(KernelMode::kFast);
+  util::Rng rng(0xFAB2);
+  for (const auto& p : kPoolCases) {
+    const Tensor input = Tensor::randn({p.n, p.c, p.h, p.w}, rng);
+    expect_close(avgpool2d(input, p.kernel, p.stride),
+                 reference::avgpool2d(input, p.kernel, p.stride),
+                 "fast avgpool2d");
+    expect_close(global_avgpool(input), reference::global_avgpool(input),
+                 "fast global_avgpool");
+  }
+  const Tensor init_p = Tensor::randn({41, 13}, rng);
+  const Tensor g = Tensor::randn({41, 13}, rng);
+  Tensor p_got = init_p, p_want = init_p;
+  Tensor v_got({41, 13}), v_want({41, 13});
+  sgd_update(p_got.data(), g.data(), v_got.data(), 0.05f, 0.9f, 1e-4f);
+  reference::sgd_update(p_want.data(), g.data(), v_want.data(), 0.05f, 0.9f,
+                        1e-4f);
+  expect_close(p_got, p_want, "fast sgd_update params");
+  expect_close(v_got, v_want, "fast sgd_update velocity");
+}
+
+TEST(FastKernels, FrameworkOpsThreadCountInvariance) {
+  SKIP_WITHOUT_VECTOR_KERNELS();
+  ModeGuard mode(KernelMode::kFast);
+  ThreadGuard guard;
+  util::Rng rng(0xF00D);
+  const Tensor input = Tensor::randn({4, 8, 16, 16}, rng);
+  const Tensor init_p = Tensor::randn({300, 300}, rng);
+  const Tensor grad = Tensor::randn({300, 300}, rng);
+
+  auto run_all = [&] {
+    struct Out {
+      Tensor mp, ap, sgd_p, sgd_v;
+    } o;
+    o.mp = maxpool2d(input, 3, 2, /*with_argmax=*/false).output;
+    o.ap = avgpool2d(input, 3, 2);
+    o.sgd_p = init_p;
+    o.sgd_v = Tensor(init_p.shape());
+    sgd_update(o.sgd_p.data(), grad.data(), o.sgd_v.data(), 0.1f, 0.9f, 1e-4f);
+    return o;
+  };
+
+  util::set_configured_threads(1);
+  const auto one = run_all();
+  util::set_configured_threads(4);
+  const auto four = run_all();
+
+  expect_bit_identical(one.mp, four.mp, "fast maxpool threads 1 vs 4");
+  expect_bit_identical(one.ap, four.ap, "fast avgpool threads 1 vs 4");
+  expect_bit_identical(one.sgd_p, four.sgd_p, "fast sgd params threads 1 vs 4");
+  expect_bit_identical(one.sgd_v, four.sgd_v,
+                       "fast sgd velocity threads 1 vs 4");
+}
+
+// Ops without a vectorized path run their deterministic kernels in fast mode
+// and say so: once-per-process warning plus a counter.
+TEST(FastKernels, FallbackOpsCountedAndStillCorrect) {
+  SKIP_WITHOUT_VECTOR_KERNELS();
+  ModeGuard mode(KernelMode::kFast);
+  util::Rng rng(0xFA11);
+  const Tensor logits = Tensor::randn({4, 6}, rng);
+  obs::MetricsRegistry::global().reset();
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const Tensor probs = softmax_rows(logits);
+  const auto xent = softmax_xent_rows(logits, {0, 1, 2, 3});
+  obs::set_enabled(was_enabled);
+  const auto counters = obs::MetricsRegistry::global().counter_values();
+  EXPECT_GE(counters.at("cadmc.kernel.fast_fallbacks"), 2);
+  // Falling back means deterministic results — bitwise, not just close.
+  expect_bit_identical(probs, reference::softmax_rows(logits),
+                       "fast softmax_rows fallback");
+  const auto want = reference::softmax_xent_rows(logits, {0, 1, 2, 3});
+  EXPECT_EQ(xent.loss, want.loss);
+  expect_bit_identical(xent.grad, want.grad, "fast xent fallback grad");
 }
 
 }  // namespace

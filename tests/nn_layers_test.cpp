@@ -422,5 +422,43 @@ TEST(GlobalAvgPoolLayer, OutputShapeIsChannels) {
   EXPECT_EQ(gap.output_shape({10, 4, 4}), (Shape{10}));
 }
 
+// Pooling layers cache only what backward needs (shape + argmax), consume the
+// cache in backward, and reject stale use — same contract as Conv2d/Linear.
+TEST(MaxPoolLayer, BackwardWithoutTrainingForwardThrows) {
+  MaxPool2d pool(2, 2);
+  const Tensor input = Tensor::ones({1, 1, 4, 4});
+  const Tensor grad = Tensor::ones({1, 1, 2, 2});
+  EXPECT_THROW(pool.backward(grad), std::logic_error);
+  pool.forward(input, /*training=*/false);
+  EXPECT_THROW(pool.backward(grad), std::logic_error);
+  pool.forward(input, /*training=*/true);
+  const Tensor grad_in = pool.backward(grad);
+  EXPECT_EQ(grad_in.shape(), input.shape());
+  // The cache is released by backward: a second backward is stale.
+  EXPECT_THROW(pool.backward(grad), std::logic_error);
+}
+
+TEST(AvgPoolLayer, BackwardReleasesCache) {
+  AvgPool2d pool(2, 2);
+  const Tensor input = Tensor::ones({1, 1, 4, 4});
+  const Tensor grad = Tensor::ones({1, 1, 2, 2});
+  EXPECT_THROW(pool.backward(grad), std::logic_error);
+  pool.forward(input, /*training=*/true);
+  const Tensor grad_in = pool.backward(grad);
+  EXPECT_EQ(grad_in.shape(), input.shape());
+  EXPECT_THROW(pool.backward(grad), std::logic_error);
+}
+
+TEST(GlobalAvgPoolLayer, BackwardReleasesCache) {
+  GlobalAvgPool gap;
+  const Tensor input = Tensor::ones({2, 3, 4, 4});
+  const Tensor grad = Tensor::ones({2, 3});
+  EXPECT_THROW(gap.backward(grad), std::logic_error);
+  gap.forward(input, /*training=*/true);
+  const Tensor grad_in = gap.backward(grad);
+  EXPECT_EQ(grad_in.shape(), input.shape());
+  EXPECT_THROW(gap.backward(grad), std::logic_error);
+}
+
 }  // namespace
 }  // namespace cadmc::nn

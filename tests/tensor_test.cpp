@@ -228,7 +228,7 @@ TEST(MaxPool, BackwardRoutesToArgmax) {
   input(0, 0, 1, 1) = 10.0f;
   const auto fwd = maxpool2d(input, 2, 2);
   Tensor grad_out = Tensor::ones(fwd.output.shape());
-  const Tensor grad_in = maxpool2d_backward(input, fwd, grad_out);
+  const Tensor grad_in = maxpool2d_backward(input.shape(), fwd.argmax, grad_out);
   EXPECT_EQ(grad_in(0, 0, 1, 1), 1.0f);
   EXPECT_EQ(grad_in(0, 0, 0, 0), 0.0f);
 }
@@ -243,7 +243,7 @@ TEST(AvgPool, BackwardSpreadsUniformly) {
   Tensor input({1, 1, 2, 2});
   Tensor grad_out({1, 1, 1, 1});
   grad_out(0, 0, 0, 0) = 4.0f;
-  const Tensor grad_in = avgpool2d_backward(input, 2, 2, grad_out);
+  const Tensor grad_in = avgpool2d_backward(input.shape(), 2, 2, grad_out);
   for (int i = 0; i < 4; ++i) EXPECT_EQ(grad_in.at(i), 1.0f);
 }
 
@@ -256,7 +256,7 @@ TEST(GlobalAvgPool, ForwardAndBackward) {
   EXPECT_EQ(out(0, 1), 6.0f);
   Tensor grad_out({1, 2});
   grad_out(0, 1) = 8.0f;
-  const Tensor grad_in = global_avgpool_backward(input, grad_out);
+  const Tensor grad_in = global_avgpool_backward(input.shape(), grad_out);
   EXPECT_EQ(grad_in(0, 1, 0, 0), 2.0f);
   EXPECT_EQ(grad_in(0, 0, 0, 0), 0.0f);
 }

@@ -6,6 +6,9 @@
 //                 [--top 20] [--out profile.csv]      critical-path profiler
 //   cadmc profile --model vgg11 --device phone --scene "4G (weak) indoor"
 //                 [--policy all|surgery|branch|tree] [--inferences 8] [--field]
+//   cadmc profile --workload distill [--candidates 2]
+//                 profiles the real distillation-training kernels: emits
+//                 kernel_* spans (the emulator's stage times are modelled)
 //   cadmc trace   --scene "4G outdoor quick" [--duration-ms 60000]
 //                 [--seed 7] [--out trace.csv]
 //   cadmc train   --model vgg11 --device phone --scene "4G (weak) indoor"
@@ -49,7 +52,10 @@
 
 #include "bench/common.h"
 #include "bench/perf_core.h"
+#include "data/synth_cifar.h"
+#include "engine/accuracy_model.h"
 #include "latency/compute_model.h"
+#include "nn/factory.h"
 #include "latency/device_profile.h"
 #include "obs/critpath.h"
 #include "obs/export.h"
@@ -319,6 +325,31 @@ int cmd_profile(const Flags& flags) {
       return 1;
     }
     report = obs::profile_spans(spans);
+  } else if (flag_or(flags, "workload", "emulate") == "distill") {
+    // Inline distillation-training workload: the RealAccuracyEvaluator hot
+    // loop that performance-driven search pays per candidate. Unlike the
+    // emulator (whose stage times are modelled ms, not measured spans), this
+    // path executes the real compute kernels, so the profile attributes
+    // wall time to the kernel_* spans (kernel_gemm, kernel_pool,
+    // kernel_loss, kernel_sgd_step, ...). CI smoke-checks their presence.
+    const int candidates = std::stoi(flag_or(flags, "candidates", "2"));
+    const data::SynthCifar dataset(12, 4, 0xD157, /*noise=*/0.15);
+    const nn::Model base = nn::make_tiny_cnn(4, 12, 8);
+    const engine::RealAccuracyEvaluator evaluator(base, dataset, 128, 64, 16,
+                                                  /*train_steps=*/8,
+                                                  /*lr=*/0.05);
+    obs::set_enabled(true);
+    const std::size_t before = obs::MetricsRegistry::global().spans().size();
+    std::uint64_t seed = 100;
+    for (int i = 0; i < candidates; ++i) {
+      nn::Model student = nn::make_tiny_cnn(4, 12, seed++);
+      evaluator.train_and_evaluate(student);
+    }
+    std::vector<obs::SpanRecord> spans = obs::MetricsRegistry::global().spans();
+    spans.erase(spans.begin(),
+                spans.begin() + static_cast<std::ptrdiff_t>(
+                                    std::min(before, spans.size())));
+    report = obs::profile_spans(spans);
   } else {
     // Inline workload: the emulator run from `cadmc emulate`, with span
     // collection forced on, profiled straight from the registry.
@@ -489,6 +520,9 @@ void usage() {
       "          [--top N] [--out f]          metrics or Chrome trace), or\n"
       "  profile --model M --device D --scene S [--policy P] [--inferences N]\n"
       "          [--field]                    profile an inline emulator run\n"
+      "  profile --workload distill [--candidates N]\n"
+      "                                       profile the real distillation\n"
+      "                                       kernels (kernel_* spans)\n"
       "  trace   --scene S [--out f.csv]      generate a bandwidth trace\n"
       "  train   --model M --device D --scene S [--out tree.txt]\n"
       "  compose --model M --tree f --bandwidth-mbps X\n"
